@@ -1,0 +1,44 @@
+// E3 — the Section V.B detection table: LU/BT/SP with 6 injected violations
+// each, checked by HOME, the ITC-like and the Marmot-like baselines.
+//
+// Paper values:
+//   Benchmarks       HOME  ITC  Marmot
+//   NPB-MZ LU (6)      6    5     5
+//   NPB-MZ BT (6)      6    7     6
+//   NPB-MZ SP (6)      6    6     5
+#include <cstdio>
+
+#include "src/apps/app.hpp"
+#include "src/apps/toolrun.hpp"
+#include "src/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace home::apps;
+  const auto flags = home::util::Flags::parse(argc, argv);
+  const int nranks = flags.get_int("nranks", 4);
+  const int paper[3][3] = {{6, 5, 5}, {6, 7, 6}, {6, 6, 5}};
+
+  std::printf("=== Section V.B: violations detected (6 injected per app), "
+              "%d ranks x 2 threads ===\n",
+              nranks);
+  std::printf("%-16s %6s %6s %6s   %s\n", "Benchmark", "HOME", "ITC", "Marmot",
+              "paper (HOME/ITC/Marmot)");
+
+  bool all_match = true;
+  const AppKind kinds[] = {AppKind::kLU, AppKind::kBT, AppKind::kSP};
+  for (int k = 0; k < 3; ++k) {
+    AppConfig cfg = paper_config(kinds[k], nranks);
+    int values[3] = {0, 0, 0};
+    const Tool tools[] = {Tool::kHome, Tool::kItc, Tool::kMarmot};
+    for (int t = 0; t < 3; ++t) {
+      values[t] = count_accuracy(run_with_tool(tools[t], cfg).report).table_value();
+      if (values[t] != paper[k][t]) all_match = false;
+    }
+    std::printf("NPB-MZ %s (6) %6d %6d %6d   %d/%d/%d\n",
+                k == 0 ? "LU" : (k == 1 ? "BT" : "SP"), values[0], values[1],
+                values[2], paper[k][0], paper[k][1], paper[k][2]);
+  }
+  std::printf("\nresult: %s the paper's table\n",
+              all_match ? "MATCHES" : "DIFFERS FROM");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// E5 — Figure 5: BT-MZ hybrid MPI/OpenMP execution time vs process count
+// for Base / HOME / MARMOT / ITC.
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto flags = home::util::Flags::parse(argc, argv);
+  home::bench::run_figure("Figure 5", home::apps::AppKind::kBT, flags);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E7 — Figure 7: average checking overhead vs process count, averaged over
+// the three mini-apps.  Paper bands: HOME 16-45%, Marmot 15-56%, ITC up to
+// around 200%.
+#include <cstdio>
+
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace home::apps;
+  const auto flags = home::util::Flags::parse(argc, argv);
+  const auto sweep = home::bench::process_sweep(flags);
+  const int reps = flags.get_int("reps", 3);
+  const AppKind kinds[] = {AppKind::kLU, AppKind::kBT, AppKind::kSP};
+
+  std::printf("=== Figure 7: average overhead vs Base across LU/BT/SP ===\n");
+  std::printf("%-8s", "procs");
+  for (int p : sweep) std::printf("%9d%%", p);
+  std::printf("\n");
+
+  for (Tool tool : {Tool::kHome, Tool::kMarmot, Tool::kItc}) {
+    std::printf("%-8s", tool_name(tool));
+    for (int p : sweep) {
+      double overhead_sum = 0.0;
+      for (AppKind kind : kinds) {
+        AppConfig cfg = home::bench::figure_config(kind, p, flags);
+        const double base = home::bench::measure_seconds(Tool::kBase, cfg, reps);
+        const double tooled = home::bench::measure_seconds(tool, cfg, reps);
+        overhead_sum += (tooled - base) / base;
+      }
+      std::printf("%9.0f%%", 100.0 * overhead_sum / 3.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper bands: HOME 16-45%%, MARMOT 15-56%%, ITC up to ~200%%)\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// E6 — Figure 6: SP-MZ hybrid MPI/OpenMP execution time vs process count
+// for Base / HOME / MARMOT / ITC.
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto flags = home::util::Flags::parse(argc, argv);
+  home::bench::run_figure("Figure 6", home::apps::AppKind::kSP, flags);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Extension bench: overhead vs OpenMP thread count.
+//
+// Section V.A of the paper pins the thread count to 2 because "the overhead
+// of Intel Thread Checker would be very high with number increasing of
+// threads in processes".  This bench sweeps the team size and shows how each
+// tool's overhead responds: ITC monitors every thread's memory accesses, so
+// its cost scales with the thread count, while HOME's monitored-variable
+// instrumentation grows only with the (fixed) number of MPI calls.
+#include <cstdio>
+
+#include "bench/fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace home::apps;
+  const auto flags = home::util::Flags::parse(argc, argv);
+  const int nranks = flags.get_int("nranks", 8);
+  const int reps = flags.get_int("reps", 3);
+
+  std::printf("=== overhead vs OpenMP threads per rank (LU-MZ, %d ranks) ===\n",
+              nranks);
+  std::printf("%-8s", "threads");
+  const int sweep[] = {1, 2, 4, 8};
+  for (int t : sweep) std::printf("%9d%%", t);
+  std::printf("\n");
+
+  for (Tool tool : {Tool::kHome, Tool::kMarmot, Tool::kItc}) {
+    std::printf("%-8s", tool_name(tool));
+    for (int t : sweep) {
+      AppConfig cfg = home::bench::figure_config(AppKind::kLU, nranks, flags);
+      cfg.nthreads = t;
+      const double base = home::bench::measure_seconds(Tool::kBase, cfg, reps);
+      const double tooled = home::bench::measure_seconds(tool, cfg, reps);
+      std::printf("%9.0f%%", 100.0 * (tooled - base) / base);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(the paper fixes 2 threads because ITC's overhead grows "
+              "steeply with thread count)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared driver for the Figure 4/5/6/7 reproductions: sweep the MPI process
+// count and print one runtime row per tool, like the paper's bar charts.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/apps/toolrun.hpp"
+#include "src/util/flags.hpp"
+
+namespace home::bench {
+
+inline std::vector<int> process_sweep(const util::Flags& flags) {
+  const int max_p = flags.get_int("max-procs", 64);
+  std::vector<int> sweep;
+  for (int p = 2; p <= max_p; p *= 2) sweep.push_back(p);
+  return sweep;
+}
+
+/// The figure workload: clean app (no injected sleeps distorting timing),
+/// sized so per-point runtimes are stable on one machine.
+inline apps::AppConfig figure_config(apps::AppKind kind, int nranks,
+                                     const util::Flags& flags) {
+  apps::AppConfig cfg = apps::clean_config(kind, nranks);
+  cfg.grid = flags.get_int("grid", 36);
+  cfg.zones_per_rank = flags.get_int("zones", 2);
+  cfg.iterations = flags.get_int("iters", 10);
+  return cfg;
+}
+
+/// Median-of-reps runtime for one (tool, config) point.
+inline double measure_seconds(apps::Tool tool, const apps::AppConfig& cfg,
+                              int reps) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    times.push_back(apps::run_with_tool(tool, cfg).run_seconds);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Print one figure: rows = tools, columns = process counts.
+inline void run_figure(const char* figure_name, apps::AppKind kind,
+                       const util::Flags& flags) {
+  const std::vector<int> sweep = process_sweep(flags);
+  const int reps = flags.get_int("reps", 3);
+
+  std::printf("=== %s: %s execution time (seconds) vs MPI processes ===\n",
+              figure_name, apps::app_kind_name(kind));
+  std::printf("%-8s", "procs");
+  for (int p : sweep) std::printf("%10d", p);
+  std::printf("\n");
+
+  std::vector<double> base_times;
+  for (apps::Tool tool : {apps::Tool::kBase, apps::Tool::kHome,
+                          apps::Tool::kMarmot, apps::Tool::kItc}) {
+    std::printf("%-8s", apps::tool_name(tool));
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      apps::AppConfig cfg = figure_config(kind, sweep[i], flags);
+      const double seconds = measure_seconds(tool, cfg, reps);
+      if (tool == apps::Tool::kBase) base_times.push_back(seconds);
+      std::printf("%10.4f", seconds);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(paper shape: Base < HOME < MARMOT < ITC at every process "
+              "count; HOME within ~16-45%% of Base)\n\n");
+}
+
+}  // namespace home::bench

@@ -1,0 +1,92 @@
+// Deadlock diagnosis: run the paper's Figure 2 ping-pong in *rendezvous*
+// mode, where the shared-tag bug actually deadlocks (both ranks' sends block
+// waiting for receives that can never be posted).  The wait-for-graph
+// monitor names the ranks in the cycle, and HOME's report names the
+// violation that caused it — the two halves of the paper's diagnosis story.
+//
+//   ./deadlock_doctor [--timeout-ms=300]
+#include <cstdio>
+
+#include "src/home/deadlock_monitor.hpp"
+#include "src/home/session.hpp"
+#include "src/homp/runtime.hpp"
+#include "src/sast/diagnostics.hpp"
+#include "src/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace home;
+  using namespace home::simmpi;
+  const auto flags = home::util::Flags::parse(argc, argv);
+
+  Session session;
+  DeadlockMonitor monitor(2);
+
+  UniverseConfig ucfg;
+  ucfg.nranks = 2;
+  ucfg.rendezvous_sends = true;  // synchronous sends: the bug can now hang.
+  ucfg.block_timeout_ms = flags.get_int("timeout-ms", 300);
+  session.configure(ucfg);
+
+  Universe universe(ucfg);
+  session.attach(universe);
+  universe.hooks().add(&monitor);
+  homp::set_default_threads(2);
+
+  std::printf("running Figure 2's shared-tag ping-pong with synchronous "
+              "sends (timeout %dms)...\n\n", ucfg.block_timeout_ms);
+
+  auto run = universe.run([](Process& p) {
+    p.init_thread(ThreadLevel::kMultiple);
+    homp::parallel(2, [&] {
+      int a = homp::thread_num();
+      // Both threads of both ranks send first: with rendezvous semantics and
+      // one shared tag this interleaving deadlocks.
+      const int peer = 1 - p.rank();
+      p.send(&a, 1, Datatype::kInt, peer, 0, kCommWorld, {"dd.send"});
+      p.recv(&a, 1, Datatype::kInt, peer, 0, kCommWorld, nullptr, {"dd.recv"});
+    });
+    p.finalize();
+  });
+  session.detach(universe);
+
+  std::printf("run result: %s\n", run.ok() ? "completed (lucky interleaving)"
+                                           : "ABORTED (blocked ranks timed out)");
+  for (const auto& error : run.errors) std::printf("  %s\n", error.c_str());
+
+  std::printf("\nwait-for-graph diagnosis: %s\n", monitor.diagnose().c_str());
+  std::printf("\ndynamic report (receives were never reached — the "
+              "path-coverage limit of dynamic analysis the paper notes):\n%s\n",
+              session.analyze().to_string().c_str());
+
+  // This is where the static half of HOME earns its keep: the compile-time
+  // analysis sees the unexecuted receives and predicts the root cause.
+  const auto warnings = home::sast::diagnose_source(R"(
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  int tag = 0;
+  #pragma omp parallel
+  {
+    MPI_Send(&a, 1, MPI_INT, peer, tag, MPI_COMM_WORLD);
+    MPI_Recv(&a, 1, MPI_INT, peer, tag, MPI_COMM_WORLD, st);
+  }
+  MPI_Finalize();
+}
+)");
+  std::printf("static root-cause analysis of the source:\n");
+  for (const auto& w : warnings) std::printf("  %s\n", w.to_string().c_str());
+
+  bool static_found_recv_race = false;
+  for (const auto& w : warnings) {
+    if (w.cls == home::sast::WarningClass::kConcurrentRecv) {
+      static_found_recv_race = true;
+    }
+  }
+
+  const bool diagnosed =
+      !run.ok() && !monitor.cycles().empty() && static_found_recv_race;
+  std::printf("deadlock_doctor: %s\n",
+              diagnosed ? "OK (hang diagnosed with wait cycle + root cause)"
+                        : "note: the racy interleaving happened to complete");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Run an NPB-MZ-style mini-app with the paper's injected violations under
+// all four tool configurations and print the comparison — a miniature of the
+// Section V evaluation.
+//
+//   ./npb_demo [--app=lu|bt|sp] [--nranks=4] [--nthreads=2]
+#include <cstdio>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/apps/toolrun.hpp"
+#include "src/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace home::apps;
+  const auto flags = home::util::Flags::parse(argc, argv);
+
+  const std::string app = flags.get("app", "lu");
+  AppKind kind = AppKind::kLU;
+  if (app == "bt") kind = AppKind::kBT;
+  if (app == "sp") kind = AppKind::kSP;
+
+  const int nranks = flags.get_int("nranks", 4);
+  const int nthreads = flags.get_int("nthreads", 2);
+  AppConfig cfg = paper_config(kind, nranks, nthreads);
+
+  std::printf("=== %s, %d ranks x %d threads, 6 injected violations ===\n",
+              app_kind_name(kind), nranks, nthreads);
+
+  for (Tool tool : {Tool::kBase, Tool::kHome, Tool::kMarmot, Tool::kItc}) {
+    const ToolRunResult result = run_with_tool(tool, cfg);
+    if (tool == Tool::kBase) {
+      std::printf("%-8s runtime %.3fs (no checking)\n", tool_name(tool),
+                  result.run_seconds);
+      continue;
+    }
+    const AccuracyCount acc = count_accuracy(result.report);
+    std::printf("%-8s runtime %.3fs  detected %d/6 classes, %d extra -> table value %d\n",
+                tool_name(tool), result.run_seconds, acc.detected_classes,
+                acc.extra_reports, acc.table_value());
+    if (tool == Tool::kHome) {
+      std::printf("\n--- HOME's report ---\n%s\n", result.report.to_string().c_str());
+    }
+  }
+  return 0;
+}

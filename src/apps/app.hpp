@@ -1,0 +1,48 @@
+// The hybrid MPI/OpenMP multi-zone mini-apps (LU-MZ, BT-MZ, SP-MZ) and the
+// paper's per-app injection configurations.
+#pragma once
+
+#include "src/apps/injections.hpp"
+#include "src/apps/kernels.hpp"
+#include "src/simmpi/universe.hpp"
+
+namespace home::apps {
+
+struct AppConfig {
+  AppKind kind = AppKind::kLU;
+  int nranks = 2;
+  int nthreads = 2;       ///< OpenMP team size per rank (paper default: 2).
+  int zones_per_rank = 2;
+  int grid = 16;          ///< zone interior size (grid x grid doubles).
+  int iterations = 4;
+  InjectionMix inject;
+  int block_timeout_ms = 20000;
+  /// Schedule fuzzing: each thread sleeps a pseudo-random 0..jitter_ms_max
+  /// milliseconds at the start of every parallel region (seeded per
+  /// rank/thread/iteration). Used to show HOME's detection is stable across
+  /// interleavings while manifest-only checkers wobble.
+  int jitter_ms_max = 0;
+  std::uint64_t jitter_seed = 1;
+};
+
+/// One rank's body: zone sweeps in an OpenMP team, serial halo exchange,
+/// per-thread tagged neighbour exchange, residual reduction, and the
+/// injection script at the middle iteration.  Returns the final global
+/// residual — deterministic for a given config, so tests can assert that
+/// instrumentation does not perturb the computation.
+double run_app_rank(const AppConfig& cfg, simmpi::Process& p);
+
+/// The evaluation's injected configuration for each benchmark (Section V.B):
+///  LU: all six violations; V5 uses blocking MPI_Probe and stays latent —
+///      missed by both the ITC-like (probe-blind) and Marmot-like
+///      (manifest-only) baselines.  Expected: HOME 6, ITC 5, Marmot 5.
+///  BT: all six manifest (V5 via Iprobe) plus the benign critical-guarded
+///      collective bait.                     Expected: HOME 6, ITC 7, Marmot 6.
+///  SP: all six; V3 is latent (staggered receives) — missed by Marmot.
+///                                           Expected: HOME 6, ITC 6, Marmot 5.
+AppConfig paper_config(AppKind kind, int nranks, int nthreads = 2);
+
+/// A clean configuration (no injections) for overhead measurements.
+AppConfig clean_config(AppKind kind, int nranks, int nthreads = 2);
+
+}  // namespace home::apps

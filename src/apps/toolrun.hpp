@@ -1,0 +1,41 @@
+// Run a mini-app under one of the four tool configurations (Base / HOME /
+// Marmot-like / ITC-like), returning wall-clock runtime and the tool's
+// report.  This is the harness every bench binary drives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/home/report.hpp"
+#include "src/simmpi/universe.hpp"
+
+namespace home::apps {
+
+enum class Tool : std::uint8_t { kBase, kHome, kMarmot, kItc };
+
+const char* tool_name(Tool tool);
+
+struct ToolRunResult {
+  double run_seconds = 0.0;       ///< wall-clock of Universe::run (the paper's
+                                  ///< "execution time including instrumentation").
+  double analysis_seconds = 0.0;  ///< offline detection + matching time.
+  Report report;                  ///< empty for kBase.
+  simmpi::RunResult run;
+};
+
+ToolRunResult run_with_tool(Tool tool, const AppConfig& cfg);
+
+/// Accuracy accounting for the paper's Section V.B table: how many of the
+/// six injected violation classes a tool reported, plus extra reports at the
+/// benign-bait callsites (ITC's false positive).  The table value is
+/// detected + extra (so "6+1 FP" prints as 7, like the paper).
+struct AccuracyCount {
+  int detected_classes = 0;
+  int extra_reports = 0;
+  int table_value() const { return detected_classes + extra_reports; }
+};
+
+AccuracyCount count_accuracy(const Report& report);
+
+}  // namespace home::apps

@@ -1,0 +1,91 @@
+#include "src/detect/deadlock.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace home::detect {
+
+void WaitForGraph::add_wait(int waiter, int waitee) {
+  if (waiter == waitee) {
+    edges_[waiter].insert(waitee);  // explicit self-loop (self-deadlock).
+    return;
+  }
+  edges_[waiter].insert(waitee);
+}
+
+void WaitForGraph::clear_waiter(int waiter) { edges_.erase(waiter); }
+
+std::set<int> WaitForGraph::waitees_of(int waiter) const {
+  auto it = edges_.find(waiter);
+  return it == edges_.end() ? std::set<int>{} : it->second;
+}
+
+std::vector<std::vector<int>> WaitForGraph::find_cycles() const {
+  // Tarjan's strongly connected components; an SCC of size > 1 (or a node
+  // with a self-loop) is a wait cycle.
+  std::map<int, int> index, lowlink;
+  std::map<int, bool> on_stack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> cycles;
+  int next_index = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+
+    auto it = edges_.find(v);
+    if (it != edges_.end()) {
+      for (int w : it->second) {
+        if (!index.count(w)) {
+          strongconnect(w);
+          lowlink[v] = std::min(lowlink[v], lowlink[w]);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+    }
+
+    if (lowlink[v] == index[v]) {
+      std::vector<int> component;
+      for (;;) {
+        const int w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      const bool self_loop = edges_.count(v) && edges_.at(v).count(v);
+      if (component.size() > 1 || self_loop) {
+        std::sort(component.begin(), component.end());
+        cycles.push_back(std::move(component));
+      }
+    }
+  };
+
+  // Visit every node that appears as a waiter or waitee, in sorted order for
+  // deterministic output.
+  std::set<int> nodes;
+  for (const auto& [u, vs] : edges_) {
+    nodes.insert(u);
+    nodes.insert(vs.begin(), vs.end());
+  }
+  for (int v : nodes) {
+    if (!index.count(v)) strongconnect(v);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+std::string WaitForGraph::to_string() const {
+  std::ostringstream os;
+  for (const auto& [u, vs] : edges_) {
+    os << u << " ->";
+    for (int v : vs) os << " " << v;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace home::detect

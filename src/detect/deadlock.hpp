@@ -1,0 +1,40 @@
+// Graph-based deadlock detection — the paper's Section I: "for deadlock, the
+// dynamic graph-based method is used to detect whether there is a state
+// circle inside of execution".
+//
+// WaitForGraph is the pure algorithm: nodes are ranks, a directed edge
+// u -> v means "u is blocked waiting on v"; a cycle is a (potential)
+// deadlock.  DeadlockMonitor feeds the graph from the simmpi hook stream:
+// blocking receives wait on their source, rendezvous/synchronous sends on
+// their destination, collectives on every other member of the communicator.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace home::detect {
+
+class WaitForGraph {
+ public:
+  /// u blocks on v (multi-edges collapse).
+  void add_wait(int waiter, int waitee);
+  /// u is no longer blocked (drops all of u's outgoing edges).
+  void clear_waiter(int waiter);
+
+  bool empty() const { return edges_.empty(); }
+  std::set<int> waitees_of(int waiter) const;
+
+  /// All elementary cycles' node sets (as strongly connected components of
+  /// size > 1, plus self-loops). Deterministic order.
+  std::vector<std::vector<int>> find_cycles() const;
+  bool has_cycle() const { return !find_cycles().empty(); }
+
+  std::string to_string() const;
+
+ private:
+  std::map<int, std::set<int>> edges_;
+};
+
+}  // namespace home::detect

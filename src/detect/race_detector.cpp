@@ -1,0 +1,88 @@
+#include "src/detect/race_detector.hpp"
+
+#include <sstream>
+
+namespace home::detect {
+
+const char* detector_mode_name(DetectorMode mode) {
+  switch (mode) {
+    case DetectorMode::kHybrid: return "hybrid";
+    case DetectorMode::kLocksetOnly: return "lockset-only";
+    case DetectorMode::kHbOnly: return "hb-only";
+  }
+  return "?";
+}
+
+std::size_t ConcurrencyReport::total_pairs() const {
+  std::size_t n = 0;
+  for (const auto& [var, verdict] : verdicts_) n += verdict.pairs.size();
+  return n;
+}
+
+std::string ConcurrencyReport::summary() const {
+  std::ostringstream os;
+  os << "ConcurrencyReport(mode=" << detector_mode_name(mode_) << "): ";
+  std::size_t concurrent_vars = 0;
+  for (const auto& [var, verdict] : verdicts_) {
+    if (verdict.concurrent) ++concurrent_vars;
+  }
+  os << concurrent_vars << "/" << verdicts_.size() << " variables concurrent, "
+     << total_pairs() << " pairs";
+  return os.str();
+}
+
+ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const {
+  // The HB pass: hybrid and lockset modes use strong edges only; the pure-HB
+  // ablation additionally treats release->acquire as ordering.
+  HappensBeforeConfig hb_cfg;
+  hb_cfg.lock_edges = (cfg_.mode == DetectorMode::kHbOnly);
+  HbIndex hb = HappensBeforeAnalysis(hb_cfg).run(std::move(events));
+
+  // Group access-event indices by variable.
+  std::map<trace::ObjId, std::vector<std::size_t>> by_var;
+  for (std::size_t i = 0; i < hb.events().size(); ++i) {
+    if (hb.events()[i].is_access()) by_var[hb.events()[i].obj].push_back(i);
+  }
+
+  std::map<trace::ObjId, VariableVerdict> verdicts;
+  for (const auto& [var, indices] : by_var) {
+    VariableVerdict verdict;
+    verdict.var = var;
+    for (std::size_t a = 0; a < indices.size(); ++a) {
+      for (std::size_t b = a + 1; b < indices.size(); ++b) {
+        const std::size_t i = indices[a];
+        const std::size_t j = indices[b];
+        const trace::Event& ei = hb.events()[i];
+        const trace::Event& ej = hb.events()[j];
+        if (ei.tid == ej.tid) continue;
+        if (!ei.is_write() && !ej.is_write()) continue;
+
+        bool racy = false;
+        switch (cfg_.mode) {
+          case DetectorMode::kHybrid:
+            racy = hb.concurrent(i, j) &&
+                   trace::locksets_disjoint(ei.locks_held, ej.locks_held);
+            break;
+          case DetectorMode::kLocksetOnly:
+            racy = trace::locksets_disjoint(ei.locks_held, ej.locks_held);
+            break;
+          case DetectorMode::kHbOnly:
+            racy = hb.concurrent(i, j);
+            break;
+        }
+        if (!racy) continue;
+
+        verdict.concurrent = true;
+        if (cfg_.max_pairs_per_var == 0 ||
+            verdict.pairs.size() < cfg_.max_pairs_per_var) {
+          verdict.pairs.push_back(ConcurrentPair{i, j, ei.tid, ej.tid});
+        }
+      }
+    }
+    verdicts.emplace(var, std::move(verdict));
+  }
+
+  return ConcurrencyReport(std::move(hb), std::move(verdicts), cfg_.mode);
+}
+
+}  // namespace home::detect

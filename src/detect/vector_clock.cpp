@@ -1,0 +1,44 @@
+#include "src/detect/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace home::detect {
+
+void VectorClock::set(trace::Tid tid, std::uint64_t value) {
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= c_.size()) c_.resize(i + 1, 0);
+  c_[i] = value;
+}
+
+void VectorClock::join(const VectorClock& other) {
+  if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+  for (std::size_t i = 0; i < other.c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    const std::uint64_t rhs = i < other.c_.size() ? other.c_[i] : 0;
+    if (c_[i] > rhs) return false;
+  }
+  return true;
+}
+
+bool VectorClock::operator==(const VectorClock& other) const {
+  return leq(other) && other.leq(*this);
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << "<";
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i) os << ",";
+    os << c_[i];
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace home::detect

@@ -1,0 +1,61 @@
+#include "src/home/check.hpp"
+
+#include "src/homp/runtime.hpp"
+#include "src/spec/matcher.hpp"
+#include "src/spec/monitored.hpp"
+#include "src/trace/trace_io.hpp"
+
+namespace home {
+
+CheckResult check_program(const CheckConfig& cfg,
+                          const std::function<void(simmpi::Process&)>& rank_main) {
+  Session session(cfg.session);
+
+  simmpi::UniverseConfig ucfg;
+  ucfg.nranks = cfg.nranks;
+  ucfg.max_thread_level = cfg.max_thread_level;
+  ucfg.rendezvous_sends = cfg.rendezvous_sends;
+  ucfg.block_timeout_ms = cfg.block_timeout_ms;
+  session.configure(ucfg);
+
+  simmpi::Universe universe(ucfg);
+  session.attach(universe);
+  homp::set_default_threads(cfg.nthreads);
+
+  CheckResult result;
+  result.run = universe.run(rank_main);
+  session.detach(universe);
+  result.report = session.analyze();
+  return result;
+}
+
+Report analyze_trace(const trace::LoadedTrace& loaded, const SessionConfig& cfg) {
+  detect::RaceDetectorConfig dcfg;
+  dcfg.mode = cfg.detector;
+  dcfg.max_pairs_per_var = cfg.max_pairs_per_var;
+  detect::ConcurrencyReport concurrency =
+      detect::RaceDetector(dcfg).analyze(loaded.events);
+
+  // Rebuild the string table so callsite ids resolve like in the live run.
+  trace::StringTable strings;
+  for (const std::string& s : loaded.strings) strings.intern(s);
+
+  spec::Matcher matcher(&strings);
+  std::vector<spec::Violation> violations = matcher.match(concurrency);
+
+  ReportStats stats;
+  stats.trace_events = loaded.events.size();
+  for (const auto& [var, verdict] : concurrency.verdicts()) {
+    if (!spec::is_monitored_var(var)) continue;
+    ++stats.monitored_variables;
+    if (verdict.concurrent) ++stats.concurrent_variables;
+    stats.concurrent_pairs += verdict.pairs.size();
+  }
+  return Report(std::move(violations), stats);
+}
+
+Report analyze_trace_file(const std::string& path, const SessionConfig& cfg) {
+  return analyze_trace(trace::load_trace_file(path), cfg);
+}
+
+}  // namespace home

@@ -1,0 +1,44 @@
+// One-call convenience API: run a hybrid MPI/OpenMP program under HOME and
+// return the violation report.  This is the entry point the examples and the
+// integration tests use.
+#pragma once
+
+#include <functional>
+
+#include "src/home/report.hpp"
+#include "src/home/session.hpp"
+#include "src/simmpi/universe.hpp"
+#include "src/trace/trace_io.hpp"
+
+namespace home {
+
+struct CheckConfig {
+  int nranks = 2;
+  /// Default OpenMP team size handed to homp (apps may override per region).
+  int nthreads = 2;
+  SessionConfig session;
+  /// Forwarded simmpi knobs.
+  simmpi::ThreadLevel max_thread_level = simmpi::ThreadLevel::kMultiple;
+  bool rendezvous_sends = false;
+  int block_timeout_ms = 10000;
+};
+
+struct CheckResult {
+  Report report;
+  simmpi::RunResult run;
+};
+
+/// Run `rank_main` on nranks rank-threads under full HOME checking.
+CheckResult check_program(const CheckConfig& cfg,
+                          const std::function<void(simmpi::Process&)>& rank_main);
+
+/// Offline mode: run the detection + matching pipeline over a previously
+/// saved execution log (Session::save_trace / trace::load_trace_file).
+Report analyze_trace(const trace::LoadedTrace& loaded,
+                     const SessionConfig& cfg = {});
+
+/// Convenience: load the trace file and analyze it.
+Report analyze_trace_file(const std::string& path,
+                          const SessionConfig& cfg = {});
+
+}  // namespace home

@@ -1,0 +1,73 @@
+#include "src/home/deadlock_monitor.hpp"
+
+#include <sstream>
+
+namespace home {
+
+void DeadlockMonitor::on_call_begin(const simmpi::CallDesc& desc) {
+  using trace::MpiCallType;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (desc.type) {
+    case MpiCallType::kRecv:
+    case MpiCallType::kProbe:
+      // Blocked on the (comm-local, here == world for COMM_WORLD) source;
+      // a wildcard source waits on everyone else.
+      if (desc.peer >= 0) {
+        graph_.add_wait(desc.rank, desc.peer);
+      } else {
+        for (int r = 0; r < nranks_; ++r) {
+          if (r != desc.rank) graph_.add_wait(desc.rank, r);
+        }
+      }
+      break;
+    case MpiCallType::kBarrier:
+    case MpiCallType::kBcast:
+    case MpiCallType::kReduce:
+    case MpiCallType::kAllreduce:
+    case MpiCallType::kGather:
+    case MpiCallType::kScatter:
+    case MpiCallType::kAlltoall:
+    case MpiCallType::kScan:
+    case MpiCallType::kReduceScatter:
+      for (int r = 0; r < nranks_; ++r) {
+        if (r != desc.rank) graph_.add_wait(desc.rank, r);
+      }
+      break;
+    case MpiCallType::kSend:
+      // Only rendezvous/synchronous sends block on the receiver; the monitor
+      // is conservative and records the edge — a completed eager send removes
+      // it again instantly in on_call_end.
+      if (desc.peer >= 0) graph_.add_wait(desc.rank, desc.peer);
+      break;
+    default:
+      break;
+  }
+}
+
+void DeadlockMonitor::on_call_end(const simmpi::CallDesc& desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  graph_.clear_waiter(desc.rank);
+}
+
+std::vector<std::vector<int>> DeadlockMonitor::cycles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.find_cycles();
+}
+
+std::string DeadlockMonitor::diagnose() const {
+  const auto found = cycles();
+  if (found.empty()) return "no wait cycle observed";
+  std::ostringstream os;
+  os << found.size() << " wait cycle(s) detected:";
+  for (const auto& cycle : found) {
+    os << " {";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i) os << ", ";
+      os << "rank " << cycle[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace home

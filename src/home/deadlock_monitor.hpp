@@ -1,0 +1,37 @@
+// DeadlockMonitor: maintains the wait-for graph online from the simmpi hook
+// stream and can diagnose a hang (e.g. after a TimeoutError aborts the run)
+// by naming the ranks in the wait cycle — the substrate's stand-in for the
+// dynamic graph-based deadlock detection the paper cites for MPI tools.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/detect/deadlock.hpp"
+#include "src/simmpi/hooks.hpp"
+
+namespace home {
+
+class DeadlockMonitor : public simmpi::MpiHooks {
+ public:
+  /// `nranks` is needed to expand wildcard-source and collective waits.
+  explicit DeadlockMonitor(int nranks) : nranks_(nranks) {}
+
+  void on_call_begin(const simmpi::CallDesc& desc) override;
+  void on_call_end(const simmpi::CallDesc& desc) override;
+
+  /// Ranks currently known to be blocked in a wait cycle (empty = no
+  /// deadlock observed right now).
+  std::vector<std::vector<int>> cycles() const;
+
+  /// Human-readable diagnosis ("ranks 0, 1 wait on each other ...").
+  std::string diagnose() const;
+
+ private:
+  int nranks_;
+  mutable std::mutex mu_;
+  detect::WaitForGraph graph_;
+};
+
+}  // namespace home

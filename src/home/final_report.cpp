@@ -1,0 +1,129 @@
+#include "src/home/final_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace home {
+namespace {
+
+spec::ViolationType to_violation_type(sast::WarningClass cls) {
+  switch (cls) {
+    case sast::WarningClass::kInitialization:
+      return spec::ViolationType::kInitialization;
+    case sast::WarningClass::kFinalization:
+      return spec::ViolationType::kFinalization;
+    case sast::WarningClass::kConcurrentRecv:
+      return spec::ViolationType::kConcurrentRecv;
+    case sast::WarningClass::kConcurrentRequest:
+      return spec::ViolationType::kConcurrentRequest;
+    case sast::WarningClass::kProbe:
+      return spec::ViolationType::kProbe;
+    case sast::WarningClass::kCollectiveCall:
+      return spec::ViolationType::kCollectiveCall;
+  }
+  return spec::ViolationType::kInitialization;
+}
+
+}  // namespace
+
+const char* confirmation_name(Confirmation confirmation) {
+  switch (confirmation) {
+    case Confirmation::kStaticOnly: return "static-only";
+    case Confirmation::kDynamicOnly: return "dynamic-only";
+    case Confirmation::kBoth: return "confirmed";
+  }
+  return "?";
+}
+
+std::string FinalEntry::to_string() const {
+  std::ostringstream os;
+  os << spec::violation_type_name(type) << " [" << confirmation_name(confirmation)
+     << "]";
+  if (!static_sites.empty()) {
+    os << " static{";
+    for (std::size_t i = 0; i < static_sites.size(); ++i) {
+      if (i) os << ", ";
+      os << static_sites[i];
+    }
+    os << "}";
+  }
+  if (!dynamic_sites.empty()) {
+    os << " dynamic{";
+    for (std::size_t i = 0; i < dynamic_sites.size(); ++i) {
+      if (i) os << ", ";
+      os << dynamic_sites[i];
+    }
+    os << "}";
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::size_t FinalReport::count(Confirmation confirmation) const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.confirmation == confirmation) ++n;
+  }
+  return n;
+}
+
+std::string FinalReport::to_string() const {
+  std::ostringstream os;
+  os << "=== HOME final report (static + dynamic) ===\n";
+  if (entries_.empty()) {
+    os << "no thread-safety issues found by either phase\n";
+    return os.str();
+  }
+  os << entries_.size() << " violation class finding(s): "
+     << count(Confirmation::kBoth) << " confirmed, "
+     << count(Confirmation::kDynamicOnly) << " dynamic-only, "
+     << count(Confirmation::kStaticOnly) << " static-only\n";
+  for (const auto& entry : entries_) os << "  - " << entry.to_string() << "\n";
+  return os.str();
+}
+
+FinalReport merge_reports(const std::vector<sast::StaticWarning>& warnings,
+                          const Report& dynamic_report) {
+  struct Bucket {
+    std::set<std::string> static_sites;
+    std::set<std::string> dynamic_sites;
+    std::string detail;
+  };
+  std::map<int, Bucket> buckets;  // keyed by ViolationType.
+
+  for (const sast::StaticWarning& w : warnings) {
+    Bucket& bucket = buckets[static_cast<int>(to_violation_type(w.cls))];
+    if (!w.site.empty()) bucket.static_sites.insert(w.site);
+    if (bucket.detail.empty()) bucket.detail = w.message;
+  }
+  for (const spec::Violation& v : dynamic_report.violations()) {
+    Bucket& bucket = buckets[static_cast<int>(v.type)];
+    if (!v.callsite1.empty()) bucket.dynamic_sites.insert(v.callsite1);
+    if (!v.callsite2.empty()) bucket.dynamic_sites.insert(v.callsite2);
+    bucket.detail = v.detail;  // dynamic detail wins (more concrete).
+  }
+
+  std::vector<FinalEntry> entries;
+  for (const auto& [type, bucket] : buckets) {
+    FinalEntry entry;
+    entry.type = static_cast<spec::ViolationType>(type);
+    entry.static_sites.assign(bucket.static_sites.begin(),
+                              bucket.static_sites.end());
+    entry.dynamic_sites.assign(bucket.dynamic_sites.begin(),
+                               bucket.dynamic_sites.end());
+    entry.detail = bucket.detail;
+    if (!bucket.static_sites.empty() && !bucket.dynamic_sites.empty()) {
+      entry.confirmation = Confirmation::kBoth;
+    } else if (!bucket.static_sites.empty()) {
+      entry.confirmation = Confirmation::kStaticOnly;
+    } else {
+      entry.confirmation = Confirmation::kDynamicOnly;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return FinalReport(std::move(entries));
+}
+
+}  // namespace home

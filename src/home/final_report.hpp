@@ -1,0 +1,55 @@
+// The last box of the paper's Figure 3: "Final Reports" — the merge of the
+// compile-time warnings with the runtime concurrency findings.  Each entry
+// records whether a violation class was statically predicted, dynamically
+// confirmed, or both; statically predicted classes that the dynamic run never
+// confirmed are kept as residual warnings (the run may simply not have
+// exercised that path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/home/report.hpp"
+#include "src/sast/diagnostics.hpp"
+
+namespace home {
+
+enum class Confirmation : std::uint8_t {
+  kStaticOnly,    ///< predicted by the CFG analysis, not observed at runtime.
+  kDynamicOnly,   ///< observed at runtime without a static prediction.
+  kBoth,          ///< predicted and confirmed — the highest-confidence class.
+};
+
+const char* confirmation_name(Confirmation confirmation);
+
+struct FinalEntry {
+  spec::ViolationType type = spec::ViolationType::kInitialization;
+  Confirmation confirmation = Confirmation::kDynamicOnly;
+  std::vector<std::string> static_sites;   ///< callsite labels from sast.
+  std::vector<std::string> dynamic_sites;  ///< callsite labels from the run.
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class FinalReport {
+ public:
+  explicit FinalReport(std::vector<FinalEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  const std::vector<FinalEntry>& entries() const { return entries_; }
+  std::size_t count(Confirmation confirmation) const;
+  bool clean() const { return entries_.empty(); }
+  std::string to_string() const;
+
+ private:
+  std::vector<FinalEntry> entries_;
+};
+
+/// Merge the two phases' findings. Violation classes are joined; within a
+/// class, a static site that names the same callsite label as a dynamic
+/// report upgrades the entry to kBoth.
+FinalReport merge_reports(const std::vector<sast::StaticWarning>& warnings,
+                          const Report& dynamic_report);
+
+}  // namespace home

@@ -1,0 +1,25 @@
+// HTML rendering of the final report — toward the paper's future-work note
+// about presenting "more refined and precise static analysis results in GUI".
+// Produces a standalone page: a summary table of violation classes with
+// confirmation status, the per-finding static and dynamic callsites, and the
+// run statistics.
+#pragma once
+
+#include <string>
+
+#include "src/home/final_report.hpp"
+#include "src/home/report.hpp"
+
+namespace home {
+
+/// Render the merged static+dynamic report as a standalone HTML page.
+std::string render_html(const FinalReport& final_report,
+                        const ReportStats& stats,
+                        const std::string& title = "HOME thread-safety report");
+
+/// Convenience: render and write to a file.
+void write_html_report(const std::string& path, const FinalReport& final_report,
+                       const ReportStats& stats,
+                       const std::string& title = "HOME thread-safety report");
+
+}  // namespace home

@@ -1,0 +1,47 @@
+// The final report a HOME session produces: matched violations plus the
+// run's instrumentation and analysis statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/spec/violations.hpp"
+
+namespace home {
+
+struct ReportStats {
+  std::size_t trace_events = 0;
+  std::size_t instrumented_calls = 0;
+  std::size_t skipped_calls = 0;
+  std::size_t monitored_variables = 0;
+  std::size_t concurrent_variables = 0;
+  std::size_t concurrent_pairs = 0;
+  double analysis_seconds = 0.0;
+};
+
+class Report {
+ public:
+  Report() = default;
+  Report(std::vector<spec::Violation> violations, ReportStats stats)
+      : violations_(std::move(violations)), stats_(stats) {}
+
+  const std::vector<spec::Violation>& violations() const { return violations_; }
+  const ReportStats& stats() const { return stats_; }
+
+  bool clean() const { return violations_.empty(); }
+  bool has(spec::ViolationType type) const { return count(type) > 0; }
+  std::size_t count(spec::ViolationType type) const;
+
+  /// Number of distinct violation *types* observed (the paper's Table rows
+  /// count one per injected violation class).
+  std::size_t distinct_types() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<spec::Violation> violations_;
+  ReportStats stats_;
+};
+
+}  // namespace home

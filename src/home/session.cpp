@@ -1,0 +1,80 @@
+#include "src/home/session.hpp"
+
+#include "src/homp/runtime.hpp"
+#include "src/spec/matcher.hpp"
+#include "src/spec/monitored.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/stats.hpp"
+
+namespace home {
+
+Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
+  WrapperConfig wcfg;
+  wcfg.filter = cfg_.filter;
+  wcfg.plan = cfg_.plan;
+  wrappers_ = std::make_unique<HomeWrappers>(std::move(wcfg), &log_, &registry_);
+}
+
+Session::~Session() {
+  if (attached_) homp::clear_instrumentation();
+}
+
+void Session::configure(simmpi::UniverseConfig& ucfg) {
+  ucfg.log = &log_;
+  ucfg.registry = &registry_;
+  ucfg.emit_message_edges = cfg_.message_edges;
+}
+
+void Session::attach(simmpi::Universe& universe) {
+  universe.hooks().add(wrappers_.get());
+  homp::install_instrumentation(homp::Instrumentation{&log_, &registry_});
+  attached_ = true;
+}
+
+void Session::detach(simmpi::Universe& universe) {
+  universe.hooks().remove(wrappers_.get());
+  homp::clear_instrumentation();
+  attached_ = false;
+}
+
+void Session::save_trace(const std::string& path) const {
+  trace::save_trace_file(path, log_);
+}
+
+std::vector<spec::MessageRace> Session::message_races() {
+  detect::RaceDetectorConfig dcfg;
+  dcfg.mode = cfg_.detector;
+  dcfg.max_pairs_per_var = cfg_.max_pairs_per_var;
+  detect::ConcurrencyReport concurrency =
+      detect::RaceDetector(dcfg).analyze(log_.sorted_events());
+  return spec::find_message_races(concurrency, &log_.strings());
+}
+
+Report Session::analyze() {
+  util::Stopwatch timer;
+
+  detect::RaceDetectorConfig dcfg;
+  dcfg.mode = cfg_.detector;
+  dcfg.max_pairs_per_var = cfg_.max_pairs_per_var;
+  detect::RaceDetector detector(dcfg);
+  detect::ConcurrencyReport concurrency = detector.analyze(log_.sorted_events());
+
+  spec::Matcher matcher(&log_.strings());
+  std::vector<spec::Violation> violations = matcher.match(concurrency);
+
+  ReportStats stats;
+  stats.trace_events = log_.size();
+  stats.instrumented_calls = wrappers_->instrumented_calls();
+  stats.skipped_calls = wrappers_->skipped_calls();
+  for (const auto& [var, verdict] : concurrency.verdicts()) {
+    if (!spec::is_monitored_var(var)) continue;
+    ++stats.monitored_variables;
+    if (verdict.concurrent) ++stats.concurrent_variables;
+    stats.concurrent_pairs += verdict.pairs.size();
+  }
+  stats.analysis_seconds = timer.elapsed_seconds();
+
+  return Report(std::move(violations), stats);
+}
+
+}  // namespace home

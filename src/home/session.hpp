@@ -1,0 +1,76 @@
+// Session: the orchestrator tying the pipeline together (Figure 3).
+//
+//   Session session(cfg);
+//   simmpi::UniverseConfig ucfg{...};
+//   session.configure(ucfg);                  // install trace sinks
+//   simmpi::Universe uni(ucfg);
+//   session.attach(uni);                      // MPI wrappers + homp probes
+//   uni.run(rank_main);
+//   session.detach(uni);
+//   Report report = session.analyze();        // detect + match
+//
+// Sessions own the trace log and thread registry; exactly one session may be
+// attached at a time (homp instrumentation is process-global, mirroring how
+// one Pin tool instruments one process).
+#pragma once
+
+#include <memory>
+
+#include "src/detect/race_detector.hpp"
+#include "src/home/report.hpp"
+#include "src/home/wrappers.hpp"
+#include "src/simmpi/universe.hpp"
+#include "src/spec/message_race.hpp"
+
+namespace home {
+
+struct SessionConfig {
+  detect::DetectorMode detector = detect::DetectorMode::kHybrid;
+  InstrumentFilter filter = InstrumentFilter::kParallelOnly;
+  /// Callsite labels from the static analysis (used with kPlan).
+  std::set<std::string> plan;
+  /// Model cross-rank send->recv pairs as happens-before edges.
+  bool message_edges = true;
+  std::size_t max_pairs_per_var = 64;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig cfg = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Point the universe's trace sinks at this session (call before
+  /// constructing the Universe).
+  void configure(simmpi::UniverseConfig& ucfg);
+
+  /// Register the MPI wrappers and homp instrumentation.
+  void attach(simmpi::Universe& universe);
+  void detach(simmpi::Universe& universe);
+
+  /// Run the offline pipeline: hybrid race detection over the monitored
+  /// variables, then thread-safety matching.
+  Report analyze();
+
+  /// Persist this session's execution log for later offline analysis.
+  void save_trace(const std::string& path) const;
+
+  /// Informational message-race findings (wildcard receives with multiple
+  /// concurrent candidate senders) — separate from the violation report.
+  std::vector<spec::MessageRace> message_races();
+
+  trace::TraceLog& log() { return log_; }
+  trace::ThreadRegistry& registry() { return registry_; }
+  const HomeWrappers& wrappers() const { return *wrappers_; }
+  const SessionConfig& config() const { return cfg_; }
+
+ private:
+  SessionConfig cfg_;
+  trace::TraceLog log_;
+  trace::ThreadRegistry registry_;
+  std::unique_ptr<HomeWrappers> wrappers_;
+  bool attached_ = false;
+};
+
+}  // namespace home

@@ -1,0 +1,106 @@
+#include "src/home/wrappers.hpp"
+
+#include "src/homp/runtime.hpp"
+#include "src/homp/sync.hpp"
+#include "src/simmpi/universe.hpp"
+#include "src/spec/monitored.hpp"
+
+namespace home {
+
+const char* instrument_filter_name(InstrumentFilter filter) {
+  switch (filter) {
+    case InstrumentFilter::kAll: return "systematic";
+    case InstrumentFilter::kParallelOnly: return "parallel-regions-only";
+    case InstrumentFilter::kPlan: return "static-plan";
+  }
+  return "?";
+}
+
+bool HomeWrappers::should_instrument(const simmpi::CallDesc& desc) const {
+  switch (desc.type) {
+    // Lifecycle calls carry the thread-level facts V1/V2 need; they are
+    // always recorded (they are rare, so this costs nothing).
+    case trace::MpiCallType::kInit:
+    case trace::MpiCallType::kInitThread:
+    case trace::MpiCallType::kFinalize:
+      return true;
+    default:
+      break;
+  }
+  switch (cfg_.filter) {
+    case InstrumentFilter::kAll:
+      return true;
+    case InstrumentFilter::kParallelOnly:
+      // Inside an OpenMP parallel region — or on any thread that is not the
+      // rank's main thread (raw homp::Thread workers of the pthreads
+      // backend): both mean hybrid concurrency is possible.
+      return homp::in_parallel() || !desc.on_main_thread;
+    case InstrumentFilter::kPlan:
+      return desc.callsite != nullptr && cfg_.plan.count(desc.callsite) > 0;
+  }
+  return true;
+}
+
+void HomeWrappers::on_call_begin(const simmpi::CallDesc& desc) {
+  const bool is_init = desc.type == trace::MpiCallType::kInit ||
+                       desc.type == trace::MpiCallType::kInitThread;
+  if (is_init) return;  // recorded at end, once `provided` is known.
+  if (!should_instrument(desc)) {
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  record(desc);
+}
+
+void HomeWrappers::on_call_end(const simmpi::CallDesc& desc) {
+  const bool is_init = desc.type == trace::MpiCallType::kInit ||
+                       desc.type == trace::MpiCallType::kInitThread;
+  if (!is_init) return;
+  record(desc);
+}
+
+void HomeWrappers::record(const simmpi::CallDesc& desc) {
+  instrumented_.fetch_add(1, std::memory_order_relaxed);
+
+  // Emulated Pin-probe cost (see WrapperConfig::probe_cost_iterations).
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < cfg_.probe_cost_iterations; ++i) sink = sink * 31 + 7;
+
+  trace::MpiCallInfo info;
+  info.type = desc.type;
+  info.peer = desc.peer;
+  info.tag = desc.tag;
+  info.comm = desc.comm;
+  info.request = desc.request;
+  info.on_main_thread = desc.on_main_thread;
+  info.provided = desc.process
+                      ? static_cast<std::uint8_t>(desc.process->provided_level())
+                      : 0;
+  if (desc.callsite) info.callsite = log_->strings().intern(desc.callsite);
+
+  const trace::Tid tid = registry_ ? registry_->current_tid() : trace::kNoTid;
+  const auto locks = homp::current_locks();
+
+  trace::Event call;
+  call.tid = tid;
+  call.rank = desc.rank;
+  call.kind = trace::EventKind::kMpiCall;
+  call.locks_held = locks;
+  call.mpi = info;
+  const trace::Seq call_seq = log_->emit(std::move(call));
+
+  // The wrapper body: WRITE this call's monitored variables.  aux back-links
+  // each write to its call event so the matcher can recover the arguments.
+  for (spec::MonitoredVar var : spec::monitored_vars_for(desc.type)) {
+    trace::Event write;
+    write.tid = tid;
+    write.rank = desc.rank;
+    write.kind = trace::EventKind::kMemWrite;
+    write.obj = spec::monitored_var_id(desc.rank, var);
+    write.aux = call_seq;
+    write.locks_held = locks;
+    log_->emit(std::move(write));
+  }
+}
+
+}  // namespace home

@@ -1,0 +1,112 @@
+#include "src/homp/sync.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "src/homp/runtime.hpp"
+#include "src/simmpi/universe.hpp"
+
+namespace home::homp {
+namespace {
+
+std::atomic<trace::ObjId> g_lock_counter{0x1000};
+
+thread_local std::vector<trace::ObjId> tls_locks;  // kept sorted.
+
+}  // namespace
+
+namespace internal {
+
+void note_acquired(trace::ObjId lock_id) {
+  auto it = std::lower_bound(tls_locks.begin(), tls_locks.end(), lock_id);
+  tls_locks.insert(it, lock_id);
+}
+
+void note_released(trace::ObjId lock_id) {
+  auto it = std::lower_bound(tls_locks.begin(), tls_locks.end(), lock_id);
+  if (it != tls_locks.end() && *it == lock_id) tls_locks.erase(it);
+}
+
+}  // namespace internal
+
+std::vector<trace::ObjId> current_locks() { return tls_locks; }
+
+Lock::Lock() : id_(g_lock_counter.fetch_add(1)) {}
+
+void Lock::lock() {
+  mu_.lock();
+  internal::note_acquired(id_);
+  if (instrumentation().log) {
+    trace::Event e;
+    e.tid = instrumentation().registry ? instrumentation().registry->current_tid()
+                                       : trace::kNoTid;
+    e.rank = instrumentation().registry
+                 ? instrumentation().registry->current_rank()
+                 : trace::kNoRank;
+    e.kind = trace::EventKind::kLockAcquire;
+    e.obj = id_;
+    e.locks_held = tls_locks;
+    instrumentation().log->emit(std::move(e));
+  }
+}
+
+void Lock::unlock() {
+  if (instrumentation().log) {
+    trace::Event e;
+    e.tid = instrumentation().registry ? instrumentation().registry->current_tid()
+                                       : trace::kNoTid;
+    e.rank = instrumentation().registry
+                 ? instrumentation().registry->current_rank()
+                 : trace::kNoRank;
+    e.kind = trace::EventKind::kLockRelease;
+    e.obj = id_;
+    e.locks_held = tls_locks;
+    instrumentation().log->emit(std::move(e));
+  }
+  internal::note_released(id_);
+  mu_.unlock();
+}
+
+bool Lock::try_lock() {
+  if (!mu_.try_lock()) return false;
+  internal::note_acquired(id_);
+  if (instrumentation().log) {
+    trace::Event e;
+    e.tid = instrumentation().registry ? instrumentation().registry->current_tid()
+                                       : trace::kNoTid;
+    e.rank = instrumentation().registry
+                 ? instrumentation().registry->current_rank()
+                 : trace::kNoRank;
+    e.kind = trace::EventKind::kLockAcquire;
+    e.obj = id_;
+    e.locks_held = tls_locks;
+    instrumentation().log->emit(std::move(e));
+  }
+  return true;
+}
+
+Lock& critical_lock(const std::string& name) {
+  // OpenMP critical sections are scoped to one *process*.  In the
+  // rank-as-thread substrate all ranks share this address space, so the lock
+  // registry is keyed by (current rank, name): two ranks entering
+  // critical("x") never exclude each other — exactly like two real MPI
+  // processes.
+  static std::mutex registry_mu;
+  static std::map<std::string, std::unique_ptr<Lock>> locks;
+  const simmpi::Process* process = simmpi::Universe::current();
+  const int rank = process ? process->rank() : -1;
+  const std::string key = "r" + std::to_string(rank) + "::" + name;
+  std::lock_guard<std::mutex> guard(registry_mu);
+  auto& slot = locks[key];
+  if (!slot) slot = std::make_unique<Lock>();
+  return *slot;
+}
+
+void critical(const std::string& name, const std::function<void()>& body) {
+  LockGuard guard(critical_lock(name));
+  body();
+}
+
+}  // namespace home::homp

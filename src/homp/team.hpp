@@ -1,0 +1,67 @@
+// Internal: the team object behind one parallel region (barrier machinery and
+// per-construct worksharing state). Not part of the public homp surface.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace home::homp::internal {
+
+/// Team-wide state for one worksharing construct instance (single winner
+/// election, section dispensing, dynamic-for chunk dispensing, reduction
+/// accumulation).
+struct ConstructState {
+  std::atomic<int> counter{0};
+  std::mutex reduce_mu;
+  double reduce_acc = 0.0;
+  bool reduce_seeded = false;
+};
+
+class Team {
+ public:
+  Team(int size, std::uint64_t team_id) : size_(size), team_id_(team_id) {}
+
+  int size() const { return size_; }
+  std::uint64_t team_id() const { return team_id_; }
+
+  ConstructState& construct(std::uint64_t index) {
+    std::lock_guard<std::mutex> lock(constructs_mu_);
+    auto& slot = constructs_[index];
+    if (!slot) slot = std::make_unique<ConstructState>();
+    return *slot;
+  }
+
+  /// Read the current barrier generation (the episode about to be joined).
+  std::uint64_t begin_barrier() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gen_;
+  }
+
+  /// Arrive at barrier episode my_gen and wait for its completion.
+  void finish_barrier(std::uint64_t my_gen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (++arrived_ == size_) {
+      arrived_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return gen_ != my_gen; });
+    }
+  }
+
+ private:
+  int size_;
+  std::uint64_t team_id_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t gen_ = 0;
+  std::mutex constructs_mu_;
+  std::map<std::uint64_t, std::unique_ptr<ConstructState>> constructs_;
+};
+
+}  // namespace home::homp::internal

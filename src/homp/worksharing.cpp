@@ -1,0 +1,134 @@
+#include "src/homp/worksharing.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/homp/runtime.hpp"
+#include "src/homp/team.hpp"
+
+namespace home::homp {
+
+void for_range(int begin, int end, const std::function<void(int)>& body,
+               const ForOpts& opts) {
+  internal::Team* team = internal::current_team();
+  if (!team || team->size() == 1) {
+    for (int i = begin; i < end; ++i) body(i);
+    if (team && !opts.nowait) internal::team_barrier(team);
+    return;
+  }
+
+  const int n = end - begin;
+  const int tnum = thread_num();
+  const int tcount = team->size();
+
+  if (opts.schedule == Schedule::kStatic) {
+    if (opts.chunk <= 0) {
+      // Block distribution: thread t gets one contiguous slice.
+      const int base = n / tcount;
+      const int extra = n % tcount;
+      const int my_begin = begin + tnum * base + std::min(tnum, extra);
+      const int my_count = base + (tnum < extra ? 1 : 0);
+      for (int i = my_begin; i < my_begin + my_count; ++i) body(i);
+    } else {
+      // Cyclic chunks of the given size.
+      for (int chunk_start = begin + tnum * opts.chunk; chunk_start < end;
+           chunk_start += tcount * opts.chunk) {
+        const int chunk_end = std::min(end, chunk_start + opts.chunk);
+        for (int i = chunk_start; i < chunk_end; ++i) body(i);
+      }
+    }
+  } else {
+    // Dynamic: chunks dispensed from a team-wide counter. The construct index
+    // pairs up the same textual `for` across all team threads.
+    const int chunk = opts.chunk > 0 ? opts.chunk : 1;
+    auto& state = team->construct(internal::next_construct_index());
+    for (;;) {
+      const int k = state.counter.fetch_add(1);
+      const int chunk_start = begin + k * chunk;
+      if (chunk_start >= end) break;
+      const int chunk_end = std::min(end, chunk_start + chunk);
+      for (int i = chunk_start; i < chunk_end; ++i) body(i);
+    }
+  }
+
+  if (opts.schedule == Schedule::kStatic) {
+    // Keep per-thread construct numbering aligned across schedules.
+    internal::next_construct_index();
+  }
+  if (!opts.nowait) internal::team_barrier(team);
+}
+
+void sections(const std::vector<std::function<void()>>& bodies, bool nowait) {
+  internal::Team* team = internal::current_team();
+  if (!team || team->size() == 1) {
+    for (const auto& body : bodies) body();
+    if (team && !nowait) internal::team_barrier(team);
+    return;
+  }
+  auto& state = team->construct(internal::next_construct_index());
+  for (;;) {
+    const int k = state.counter.fetch_add(1);
+    if (k >= static_cast<int>(bodies.size())) break;
+    bodies[static_cast<std::size_t>(k)]();
+  }
+  if (!nowait) internal::team_barrier(team);
+}
+
+void single(const std::function<void()>& body, bool nowait) {
+  internal::Team* team = internal::current_team();
+  if (!team || team->size() == 1) {
+    body();
+    if (team && !nowait) internal::team_barrier(team);
+    return;
+  }
+  auto& state = team->construct(internal::next_construct_index());
+  if (state.counter.fetch_add(1) == 0) body();
+  if (!nowait) internal::team_barrier(team);
+}
+
+void master(const std::function<void()>& body) {
+  if (thread_num() == 0) body();
+}
+
+double for_range_reduce(int begin, int end, double identity,
+                        const std::function<double(int, double)>& fold,
+                        const std::function<double(double, double)>& combine,
+                        const ForOpts& opts) {
+  internal::Team* team = internal::current_team();
+  if (!team || team->size() == 1) {
+    double acc = identity;
+    for (int i = begin; i < end; ++i) acc = fold(i, acc);
+    if (team && !opts.nowait) internal::team_barrier(team);
+    return acc;
+  }
+
+  auto& state = team->construct(internal::next_construct_index());
+
+  // Fold my share privately (no barrier yet — the combine is the sync point).
+  double local = identity;
+  ForOpts inner = opts;
+  inner.nowait = true;
+  for_range(begin, end, [&](int i) { local = fold(i, local); }, inner);
+
+  {
+    std::lock_guard<std::mutex> lock(state.reduce_mu);
+    if (!state.reduce_seeded) {
+      state.reduce_acc = local;
+      state.reduce_seeded = true;
+    } else {
+      state.reduce_acc = combine(state.reduce_acc, local);
+    }
+  }
+  // All partials are in after the barrier; every thread reads the result.
+  internal::team_barrier(team);
+  return state.reduce_acc;
+}
+
+double for_range_sum(int begin, int end, const std::function<double(int)>& body,
+                     const ForOpts& opts) {
+  return for_range_reduce(
+      begin, end, 0.0, [&](int i, double acc) { return acc + body(i); },
+      [](double a, double b) { return a + b; }, opts);
+}
+
+}  // namespace home::homp

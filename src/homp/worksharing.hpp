@@ -1,0 +1,49 @@
+// Worksharing constructs: for (static/dynamic), sections, single, master.
+//
+// Outside a parallel region each construct degrades to serial execution,
+// matching OpenMP's orphaned-directive semantics.  All constructs with an
+// implicit barrier take a `nowait` flag mirroring the OpenMP clause.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace home::homp {
+
+enum class Schedule { kStatic, kDynamic };
+
+struct ForOpts {
+  Schedule schedule = Schedule::kStatic;
+  int chunk = 0;     ///< 0 = runtime default (block for static, 1 for dynamic).
+  bool nowait = false;
+};
+
+/// #pragma omp for: iterates [begin, end) split across the team.
+void for_range(int begin, int end, const std::function<void(int)>& body,
+               const ForOpts& opts = {});
+
+/// #pragma omp sections: each function is one section.
+void sections(const std::vector<std::function<void()>>& bodies,
+              bool nowait = false);
+
+/// #pragma omp single: exactly one team thread runs body.
+void single(const std::function<void()>& body, bool nowait = false);
+
+/// #pragma omp master: only thread 0 runs body (no implied barrier).
+void master(const std::function<void()>& body);
+
+/// #pragma omp for reduction(op:acc): iterates [begin, end) across the team;
+/// each thread folds into a private accumulator seeded with `identity`, and
+/// the partials are combined into one result under the team's reduction lock.
+/// Every team thread receives the combined value (an implied barrier follows
+/// the combine). Serial outside a parallel region.
+double for_range_reduce(int begin, int end, double identity,
+                        const std::function<double(int, double)>& fold,
+                        const std::function<double(double, double)>& combine,
+                        const ForOpts& opts = {});
+
+/// Convenience sum-reduction: acc += body(i).
+double for_range_sum(int begin, int end, const std::function<double(int)>& body,
+                     const ForOpts& opts = {});
+
+}  // namespace home::homp

@@ -1,0 +1,224 @@
+#include "src/sast/analysis.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "src/util/strings.hpp"
+
+namespace home::sast {
+namespace {
+
+bool is_mpi_call(const std::string& callee) {
+  return util::starts_with(callee, "MPI_") || util::starts_with(callee, "HMPI_");
+}
+
+std::string make_label(const std::string& function, int line,
+                       const std::string& routine) {
+  return function + ":" + std::to_string(line) + ":" + routine;
+}
+
+/// Walks one CFG in node order, maintaining parallel / critical /
+/// master-single nesting exactly like Algorithm 1's srcCFG traversal.
+/// Nodes are visited in construction order, which matches lexical nesting.
+void scan_cfg(const Cfg& cfg, const std::string& function_name,
+              bool function_assumed_parallel, AnalysisResult& result) {
+  int parallel_depth = function_assumed_parallel ? 1 : 0;
+  std::vector<std::string> critical_stack;
+  int master_single_depth = 0;
+
+  for (const CfgNode& node : cfg.nodes()) {
+    switch (node.kind) {
+      case CfgNodeKind::kOmpParallelBegin:
+        ++parallel_depth;
+        break;
+      case CfgNodeKind::kOmpParallelEnd:
+        if (parallel_depth > 0) --parallel_depth;
+        break;
+      case CfgNodeKind::kOmpCriticalBegin:
+        critical_stack.push_back(node.label);
+        break;
+      case CfgNodeKind::kOmpCriticalEnd:
+        if (!critical_stack.empty()) critical_stack.pop_back();
+        break;
+      case CfgNodeKind::kOmpWorksharing:
+        // `master` and `single` imply one executing thread for their body;
+        // the marker node covers the directive itself — bodies are separate
+        // stmt nodes that *follow* it, so track via the stmt pointer instead.
+        break;
+      default:
+        break;
+    }
+
+    if (!node.stmt) continue;
+    for (const CallExpr& call : node.stmt->calls) {
+      if (!is_mpi_call(call.callee)) continue;
+      MpiCallSite site;
+      site.routine = call.callee;
+      site.args = call.args;
+      site.function = function_name;
+      site.line = call.line;
+      site.col = call.col;
+      site.in_parallel = parallel_depth > 0;
+      site.critical_stack = critical_stack;
+      site.in_master_or_single = master_single_depth > 0;
+      site.label = make_label(function_name, call.line, call.callee);
+      result.calls.push_back(std::move(site));
+    }
+  }
+}
+
+/// Marks in_master_or_single via an AST pass (the CFG flattens those bodies).
+void mark_master_single(const TranslationUnit& unit, AnalysisResult& result) {
+  std::map<std::string, std::vector<std::pair<int, int>>> ranges;  // fn -> lines
+  for (const Function& fn : unit.functions) {
+    if (!fn.body) continue;
+    visit_stmts(*fn.body, [&](const Stmt& stmt) {
+      if (stmt.kind != StmtKind::kOmp) return;
+      if (stmt.directive != OmpDirective::kMaster &&
+          stmt.directive != OmpDirective::kSingle) {
+        return;
+      }
+      // Approximate the body extent by the line span of its statements.
+      int lo = stmt.line;
+      int hi = stmt.line;
+      if (stmt.body) {
+        visit_stmts(*stmt.body, [&](const Stmt& inner) {
+          if (inner.line > 0) {
+            if (inner.line < lo) lo = inner.line;
+            if (inner.line > hi) hi = inner.line;
+          }
+        });
+      }
+      ranges[fn.name].push_back({lo, hi});
+    });
+  }
+  for (MpiCallSite& site : result.calls) {
+    for (const auto& [lo, hi] : ranges[site.function]) {
+      if (site.line >= lo && site.line <= hi) {
+        site.in_master_or_single = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> compute_parallel_callees(const TranslationUnit& unit) {
+  // Collect direct callees inside parallel regions, then close transitively
+  // over the static call graph.
+  std::map<std::string, std::set<std::string>> call_graph;
+  std::set<std::string> seeds;
+
+  for (const Function& fn : unit.functions) {
+    if (!fn.body) continue;
+    // AST pass with a parallel-depth counter.
+    struct Frame {
+      const Stmt* stmt;
+      int depth;
+    };
+    std::vector<Frame> stack{{fn.body.get(), 0}};
+    while (!stack.empty()) {
+      Frame frame = stack.back();
+      stack.pop_back();
+      const Stmt& s = *frame.stmt;
+      int depth = frame.depth;
+      if (s.kind == StmtKind::kOmp &&
+          (s.directive == OmpDirective::kParallel ||
+           s.directive == OmpDirective::kParallelFor ||
+           s.directive == OmpDirective::kParallelSections)) {
+        ++depth;
+      }
+      for (const CallExpr& call : s.calls) {
+        if (util::starts_with(call.callee, "MPI_")) continue;
+        call_graph[fn.name].insert(call.callee);
+        if (depth > 0) seeds.insert(call.callee);
+      }
+      if (s.body) stack.push_back({s.body.get(), depth});
+      if (s.else_body) stack.push_back({s.else_body.get(), depth});
+      for (const auto& child : s.children) {
+        if (child) stack.push_back({child.get(), depth});
+      }
+    }
+  }
+
+  // Transitive closure: anything a parallel callee calls is also parallel.
+  std::set<std::string> result = seeds;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& fn : std::set<std::string>(result)) {
+      for (const std::string& callee : call_graph[fn]) {
+        if (result.insert(callee).second) changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+AnalysisResult analyze(const TranslationUnit& unit) {
+  AnalysisResult result;
+  const std::set<std::string> parallel_fns = compute_parallel_callees(unit);
+
+  for (const Function& fn : unit.functions) {
+    Cfg cfg = build_cfg(fn);
+    scan_cfg(cfg, fn.name, parallel_fns.count(fn.name) > 0, result);
+    result.cfgs.push_back(std::move(cfg));
+  }
+  mark_master_single(unit, result);
+
+  for (const MpiCallSite& site : result.calls) {
+    ++result.plan.total_calls;
+    if (site.routine == "MPI_Init") result.uses_plain_init = true;
+    if (site.routine == "MPI_Init_thread") {
+      result.uses_init_thread = true;
+      for (const std::string& arg : site.args) {
+        if (util::contains(arg, "MPI_THREAD_")) {
+          // Normalize token spacing from the parser.
+          result.requested_level = util::replace_all(arg, " ", "");
+        }
+      }
+    }
+    if (site.in_parallel) {
+      result.plan.instrument.insert(site.label);
+      ++result.plan.instrumented_calls;
+    } else {
+      ++result.plan.filtered_calls;
+    }
+  }
+  return result;
+}
+
+AnalysisResult analyze_source(const std::string& source) {
+  return analyze(parse(source));
+}
+
+void save_plan_file(const std::string& path, const InstrPlan& plan) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open plan file " + path);
+  out << "#home-plan v1 total=" << plan.total_calls
+      << " instrumented=" << plan.instrumented_calls
+      << " filtered=" << plan.filtered_calls << "\n";
+  for (const std::string& label : plan.instrument) out << label << "\n";
+}
+
+InstrPlan load_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open plan file " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("#home-plan v1", 0) != 0) {
+    throw std::runtime_error("bad plan file header in " + path);
+  }
+  InstrPlan plan;
+  while (std::getline(in, line)) {
+    const std::string label = util::trim(line);
+    if (label.empty() || label[0] == '#') continue;
+    plan.instrument.insert(label);
+  }
+  plan.instrumented_calls = plan.instrument.size();
+  plan.total_calls = plan.instrument.size();
+  return plan;
+}
+
+}  // namespace home::sast

@@ -1,0 +1,70 @@
+// The compile-time phase of HOME (Algorithm 1): traverse each function's
+// srcCFG node list, track omp parallel / critical nesting, extract every MPI
+// call with its arguments, and produce the instrumentation plan — the set of
+// call sites to replace with HMPI_* wrappers.  MPI calls outside parallel
+// regions are provably free of *thread*-safety violations and are filtered
+// out, which is the paper's overhead-reduction step.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sast/cfg.hpp"
+#include "src/sast/parser.hpp"
+
+namespace home::sast {
+
+struct MpiCallSite {
+  std::string routine;            ///< "MPI_Recv", ...
+  std::vector<std::string> args;  ///< raw argument texts.
+  std::string function;           ///< enclosing function name.
+  int line = 0;
+  int col = 0;
+  bool in_parallel = false;
+  std::vector<std::string> critical_stack;  ///< enclosing critical names.
+  bool in_master_or_single = false;
+  /// Stable callsite label: "<function>:<line>:<routine>" — the same label
+  /// scheme the runtime CallOpts uses, so the plan can key dynamic filtering.
+  std::string label;
+};
+
+struct InstrPlan {
+  std::set<std::string> instrument;  ///< labels selected for wrapping.
+  std::size_t total_calls = 0;
+  std::size_t instrumented_calls = 0;
+  std::size_t filtered_calls = 0;    ///< provably thread-safe (serial) calls.
+};
+
+struct AnalysisResult {
+  std::vector<MpiCallSite> calls;
+  InstrPlan plan;
+  /// One CFG per function, aligned with unit.functions order.
+  std::vector<Cfg> cfgs;
+  /// Requested thread level literal if MPI_Init_thread is called with one
+  /// ("MPI_THREAD_MULTIPLE", ...); empty if only MPI_Init appears.
+  std::string requested_level;
+  bool uses_plain_init = false;
+  bool uses_init_thread = false;
+};
+
+/// Run the full compile-time analysis on a parsed translation unit.
+/// Interprocedural position: calls are analysed in their lexical function;
+/// a function called from inside a parallel region is treated as parallel if
+/// `assume_called_in_parallel` lists it (simple 1-level context sensitivity;
+/// compute_parallel_callees() derives that list).
+AnalysisResult analyze(const TranslationUnit& unit);
+
+/// Functions whose call sites appear (transitively) inside parallel regions.
+std::set<std::string> compute_parallel_callees(const TranslationUnit& unit);
+
+/// Convenience: parse + analyze.
+AnalysisResult analyze_source(const std::string& source);
+
+/// Persist / load an instrumentation plan so the compile-time phase can hand
+/// the callsite list to a separate dynamic-phase process (the
+/// InstrumentFilter::kPlan mode of the runtime wrappers).
+void save_plan_file(const std::string& path, const InstrPlan& plan);
+InstrPlan load_plan_file(const std::string& path);
+
+}  // namespace home::sast

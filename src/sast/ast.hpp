@@ -1,0 +1,106 @@
+// AST for the hybrid-C subset. Statement-granular: expressions are kept as
+// raw text plus an extracted list of call expressions (callee + argument
+// strings), which is all the compile-time phase needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace home::sast {
+
+/// A call expression found inside a statement (MPI_* calls are the ones the
+/// analysis cares about, but all calls are recorded).
+struct CallExpr {
+  std::string callee;
+  std::vector<std::string> args;  ///< top-level argument texts.
+  int line = 0;
+  int col = 0;
+};
+
+enum class OmpDirective : std::uint8_t {
+  kNone,
+  kParallel,
+  kParallelFor,
+  kParallelSections,
+  kFor,
+  kSections,
+  kSection,
+  kCritical,
+  kBarrier,
+  kSingle,
+  kMaster,
+  kUnknown,
+};
+
+const char* omp_directive_name(OmpDirective directive);
+
+/// Parsed clause list of an omp pragma: clause name -> parenthesized text
+/// ("" for bare clauses like nowait).
+using OmpClauses = std::map<std::string, std::string>;
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kIf,
+  kFor,
+  kWhile,
+  kDoWhile,
+  kSwitch,
+  kReturn,
+  kExpr,    ///< expression or declaration statement.
+  kEmpty,
+  kOmp,     ///< an omp directive (with optional structured block in `body`).
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kEmpty;
+  int line = 0;
+
+  // kBlock: children; kIf: body/else_body; loops: body.
+  std::vector<std::unique_ptr<Stmt>> children;
+  std::unique_ptr<Stmt> body;
+  std::unique_ptr<Stmt> else_body;
+
+  /// Raw text: the expression/declaration, or the loop/if condition.
+  std::string text;
+
+  /// Calls appearing in this statement's own expressions (not in children).
+  std::vector<CallExpr> calls;
+
+  // kOmp only:
+  OmpDirective directive = OmpDirective::kNone;
+  OmpClauses clauses;
+  std::string critical_name;  ///< for kCritical ("" = unnamed).
+};
+
+struct Function {
+  std::string return_type;
+  std::string name;
+  std::string params;  ///< raw parameter list text.
+  std::unique_ptr<Stmt> body;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<Function> functions;
+  /// Top-level statements outside functions (e.g. the listings' global
+  /// MPI_MonitorVariableSetup call) in source order.
+  std::vector<std::unique_ptr<Stmt>> globals;
+  std::vector<std::string> includes;
+  std::vector<std::string> errors;
+
+  const Function* find_function(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Depth-first visit of a statement tree (pre-order).
+void visit_stmts(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+}  // namespace home::sast

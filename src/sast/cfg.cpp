@@ -1,0 +1,216 @@
+#include "src/sast/cfg.hpp"
+
+#include <sstream>
+
+namespace home::sast {
+
+const char* cfg_node_kind_name(CfgNodeKind kind) {
+  switch (kind) {
+    case CfgNodeKind::kEntry: return "entry";
+    case CfgNodeKind::kExit: return "exit";
+    case CfgNodeKind::kStmt: return "stmt";
+    case CfgNodeKind::kOmpParallelBegin: return "ompParallelBegin";
+    case CfgNodeKind::kOmpParallelEnd: return "ompParallelEnd";
+    case CfgNodeKind::kOmpCriticalBegin: return "ompCriticalBegin";
+    case CfgNodeKind::kOmpCriticalEnd: return "ompCriticalEnd";
+    case CfgNodeKind::kOmpBarrier: return "ompBarrier";
+    case CfgNodeKind::kOmpWorksharing: return "ompWorksharing";
+  }
+  return "?";
+}
+
+int Cfg::add_node(CfgNodeKind kind, const Stmt* stmt, int line,
+                  const std::string& label) {
+  CfgNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = kind;
+  node.stmt = stmt;
+  node.line = line;
+  node.label = label;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Cfg::add_edge(int from, int to) {
+  if (from < 0 || to < 0) return;
+  nodes_[static_cast<std::size_t>(from)].succs.push_back(to);
+}
+
+std::string Cfg::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (const CfgNode& node : nodes_) {
+    os << "  n" << node.id << " [label=\"" << node.id << ": "
+       << cfg_node_kind_name(node.kind);
+    if (!node.label.empty()) os << " " << node.label;
+    if (node.line > 0) os << " (line " << node.line << ")";
+    os << "\"];\n";
+    for (int succ : node.succs) os << "  n" << node.id << " -> n" << succ << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Recursive builder: lowers a statement subtree into the graph and returns
+/// the subgraph's single exit node (all paths rejoin there).
+class Builder {
+ public:
+  explicit Builder(Cfg& cfg) : cfg_(cfg) {}
+
+  /// Lower `stmt`, connecting it after `pred`; returns the new tail node.
+  int lower(const Stmt& stmt, int pred) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock: {
+        int tail = pred;
+        for (const auto& child : stmt.children) {
+          if (child) tail = lower(*child, tail);
+        }
+        return tail;
+      }
+      case StmtKind::kIf: {
+        const int cond = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line, "if");
+        cfg_.add_edge(pred, cond);
+        const int join = cfg_.add_node(CfgNodeKind::kStmt, nullptr, stmt.line, "join");
+        int then_tail = cond;
+        if (stmt.body) then_tail = lower(*stmt.body, cond);
+        cfg_.add_edge(then_tail, join);
+        if (stmt.else_body) {
+          const int else_tail = lower(*stmt.else_body, cond);
+          cfg_.add_edge(else_tail, join);
+        } else {
+          cfg_.add_edge(cond, join);  // fallthrough edge.
+        }
+        return join;
+      }
+      case StmtKind::kDoWhile: {
+        // Body first, then the condition with a back edge to the body.
+        const int head = cfg_.add_node(CfgNodeKind::kStmt, nullptr, stmt.line,
+                                       "do");
+        cfg_.add_edge(pred, head);
+        int body_tail = head;
+        if (stmt.body) body_tail = lower(*stmt.body, head);
+        const int cond = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line,
+                                       "do-while");
+        cfg_.add_edge(body_tail, cond);
+        cfg_.add_edge(cond, head);  // back edge.
+        return cond;
+      }
+      case StmtKind::kSwitch: {
+        // Approximate: the controlling expression, then the body (cases in
+        // sequence) joining at one exit — enough for call extraction.
+        const int head = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line,
+                                       "switch");
+        cfg_.add_edge(pred, head);
+        int tail = head;
+        if (stmt.body) tail = lower(*stmt.body, head);
+        const int join = cfg_.add_node(CfgNodeKind::kStmt, nullptr, stmt.line,
+                                       "switch-exit");
+        cfg_.add_edge(tail, join);
+        cfg_.add_edge(head, join);
+        return join;
+      }
+      case StmtKind::kFor:
+      case StmtKind::kWhile: {
+        const int cond = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line,
+                                       stmt.kind == StmtKind::kFor ? "for" : "while");
+        cfg_.add_edge(pred, cond);
+        int body_tail = cond;
+        if (stmt.body) body_tail = lower(*stmt.body, cond);
+        cfg_.add_edge(body_tail, cond);  // back edge.
+        const int after = cfg_.add_node(CfgNodeKind::kStmt, nullptr, stmt.line,
+                                        "loop-exit");
+        cfg_.add_edge(cond, after);
+        return after;
+      }
+      case StmtKind::kOmp:
+        return lower_omp(stmt, pred);
+      case StmtKind::kReturn:
+      case StmtKind::kExpr:
+      case StmtKind::kEmpty:
+      default: {
+        const int node = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line);
+        cfg_.add_edge(pred, node);
+        return node;
+      }
+    }
+  }
+
+ private:
+  int lower_omp(const Stmt& stmt, int pred) {
+    switch (stmt.directive) {
+      case OmpDirective::kParallel:
+      case OmpDirective::kParallelFor:
+      case OmpDirective::kParallelSections: {
+        const int begin = cfg_.add_node(CfgNodeKind::kOmpParallelBegin, &stmt,
+                                        stmt.line,
+                                        omp_directive_name(stmt.directive));
+        cfg_.add_edge(pred, begin);
+        int tail = begin;
+        if (stmt.body) tail = lower(*stmt.body, begin);
+        const int end = cfg_.add_node(CfgNodeKind::kOmpParallelEnd, &stmt,
+                                      stmt.line);
+        cfg_.add_edge(tail, end);
+        return end;
+      }
+      case OmpDirective::kCritical: {
+        const int begin = cfg_.add_node(CfgNodeKind::kOmpCriticalBegin, &stmt,
+                                        stmt.line, stmt.critical_name);
+        cfg_.add_edge(pred, begin);
+        int tail = begin;
+        if (stmt.body) tail = lower(*stmt.body, begin);
+        const int end = cfg_.add_node(CfgNodeKind::kOmpCriticalEnd, &stmt,
+                                      stmt.line, stmt.critical_name);
+        cfg_.add_edge(tail, end);
+        return end;
+      }
+      case OmpDirective::kBarrier: {
+        const int node = cfg_.add_node(CfgNodeKind::kOmpBarrier, &stmt, stmt.line);
+        cfg_.add_edge(pred, node);
+        return node;
+      }
+      case OmpDirective::kFor:
+      case OmpDirective::kSections:
+      case OmpDirective::kSection:
+      case OmpDirective::kSingle:
+      case OmpDirective::kMaster: {
+        const int node = cfg_.add_node(CfgNodeKind::kOmpWorksharing, &stmt,
+                                       stmt.line,
+                                       omp_directive_name(stmt.directive));
+        cfg_.add_edge(pred, node);
+        int tail = node;
+        if (stmt.body) tail = lower(*stmt.body, node);
+        return tail;
+      }
+      case OmpDirective::kNone:
+      case OmpDirective::kUnknown:
+      default: {
+        const int node = cfg_.add_node(CfgNodeKind::kStmt, &stmt, stmt.line,
+                                       "pragma");
+        cfg_.add_edge(pred, node);
+        int tail = node;
+        if (stmt.body) tail = lower(*stmt.body, node);
+        return tail;
+      }
+    }
+  }
+
+  Cfg& cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const Function& fn) {
+  Cfg cfg;
+  const int entry = cfg.add_node(CfgNodeKind::kEntry, nullptr, fn.line);
+  cfg.set_entry(entry);
+  int tail = entry;
+  if (fn.body) tail = Builder(cfg).lower(*fn.body, entry);
+  const int exit = cfg.add_node(CfgNodeKind::kExit, nullptr, 0);
+  cfg.add_edge(tail, exit);
+  cfg.set_exit(exit);
+  return cfg;
+}
+
+}  // namespace home::sast

@@ -1,0 +1,61 @@
+// Control-flow graph over statements, with explicit ompParallelBegin /
+// ompParallelEnd marker nodes — the srcCFG list Algorithm 1 traverses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sast/ast.hpp"
+
+namespace home::sast {
+
+enum class CfgNodeKind : std::uint8_t {
+  kEntry,
+  kExit,
+  kStmt,              ///< plain statement (expr/decl/return/condition).
+  kOmpParallelBegin,  ///< entering `omp parallel` / `omp parallel for`.
+  kOmpParallelEnd,
+  kOmpCriticalBegin,  ///< entering `omp critical(name)`.
+  kOmpCriticalEnd,
+  kOmpBarrier,
+  kOmpWorksharing,    ///< for / sections / section / single / master marker.
+};
+
+const char* cfg_node_kind_name(CfgNodeKind kind);
+
+struct CfgNode {
+  int id = -1;
+  CfgNodeKind kind = CfgNodeKind::kStmt;
+  const Stmt* stmt = nullptr;  ///< null for entry/exit.
+  int line = 0;
+  std::string label;           ///< critical name / directive name.
+  std::vector<int> succs;
+};
+
+class Cfg {
+ public:
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  const CfgNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+
+  /// GraphViz dump (debugging / the static_analyzer_cli example).
+  std::string to_dot(const std::string& name) const;
+
+  // Builder interface (used by build_cfg).
+  int add_node(CfgNodeKind kind, const Stmt* stmt, int line,
+               const std::string& label = "");
+  void add_edge(int from, int to);
+  void set_entry(int id) { entry_ = id; }
+  void set_exit(int id) { exit_ = id; }
+
+ private:
+  std::vector<CfgNode> nodes_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// Build the CFG of one function body.
+Cfg build_cfg(const Function& fn);
+
+}  // namespace home::sast

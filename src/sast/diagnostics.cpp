@@ -1,0 +1,212 @@
+#include "src/sast/diagnostics.hpp"
+
+#include <sstream>
+
+#include "src/util/strings.hpp"
+
+namespace home::sast {
+namespace {
+
+bool same_critical(const MpiCallSite& a, const MpiCallSite& b) {
+  if (a.critical_stack.empty() || b.critical_stack.empty()) return false;
+  for (const std::string& lock : a.critical_stack) {
+    for (const std::string& other : b.critical_stack) {
+      if (lock == other) return true;
+    }
+  }
+  return false;
+}
+
+bool is_recv(const MpiCallSite& s) {
+  return s.routine == "MPI_Recv" || s.routine == "MPI_Irecv";
+}
+bool is_probe_site(const MpiCallSite& s) {
+  return s.routine == "MPI_Probe" || s.routine == "MPI_Iprobe";
+}
+bool is_wait_test(const MpiCallSite& s) {
+  return s.routine == "MPI_Wait" || s.routine == "MPI_Test";
+}
+bool is_collective_site(const MpiCallSite& s) {
+  static const char* kNames[] = {"MPI_Barrier", "MPI_Bcast",   "MPI_Reduce",
+                                 "MPI_Allreduce", "MPI_Gather", "MPI_Scatter",
+                                 "MPI_Alltoall"};
+  for (const char* name : kNames) {
+    if (s.routine == name) return true;
+  }
+  return false;
+}
+
+std::string arg_or(const MpiCallSite& s, std::size_t idx, const char* fallback) {
+  return idx < s.args.size() ? s.args[idx] : fallback;
+}
+
+/// (source, tag, comm) argument positions per routine.
+void src_tag_comm(const MpiCallSite& s, std::string* src, std::string* tag,
+                  std::string* comm) {
+  if (s.routine == "MPI_Recv" || s.routine == "MPI_Irecv") {
+    *src = arg_or(s, 3, "?");
+    *tag = arg_or(s, 4, "?");
+    *comm = arg_or(s, 5, "?");
+  } else if (s.routine == "MPI_Probe" || s.routine == "MPI_Iprobe") {
+    *src = arg_or(s, 0, "?");
+    *tag = arg_or(s, 1, "?");
+    *comm = arg_or(s, 2, "?");
+  } else {
+    *src = *tag = *comm = "?";
+  }
+}
+
+/// Both sites run by distinct threads concurrently: inside a parallel region
+/// and not both serialized by master/single or a common critical.
+bool potentially_concurrent(const MpiCallSite& a, const MpiCallSite& b) {
+  if (!a.in_parallel || !b.in_parallel) return false;
+  if (same_critical(a, b)) return false;
+  // Two *distinct* master/single bodies never run concurrently with each
+  // other within one team; the same site reached by one thread only can
+  // still self-race across loop iterations, so same-site master is safe.
+  if (a.in_master_or_single && b.in_master_or_single) return false;
+  return true;
+}
+
+}  // namespace
+
+const char* warning_class_name(WarningClass w) {
+  switch (w) {
+    case WarningClass::kInitialization: return "InitializationViolation";
+    case WarningClass::kFinalization: return "FinalizationViolation";
+    case WarningClass::kConcurrentRecv: return "ConcurrentRecvViolation";
+    case WarningClass::kConcurrentRequest: return "ConcurrentRequestViolation";
+    case WarningClass::kProbe: return "ProbeViolation";
+    case WarningClass::kCollectiveCall: return "CollectiveCallViolation";
+  }
+  return "?";
+}
+
+std::string StaticWarning::to_string() const {
+  std::ostringstream os;
+  os << "[static] potential " << warning_class_name(cls);
+  if (line > 0) os << " at line " << line;
+  if (!site.empty()) os << " (" << site << ")";
+  os << ": " << message;
+  return os.str();
+}
+
+std::vector<StaticWarning> diagnose(const AnalysisResult& analysis) {
+  std::vector<StaticWarning> warnings;
+  auto warn = [&](WarningClass cls, int line, const std::string& site,
+                  const std::string& message) {
+    warnings.push_back(StaticWarning{cls, line, site, message});
+  };
+
+  const bool has_parallel_mpi = analysis.plan.instrumented_calls > 0;
+
+  // V1: plain MPI_Init (thread level SINGLE) with MPI inside parallel regions.
+  if (analysis.uses_plain_init && has_parallel_mpi) {
+    warn(WarningClass::kInitialization, 0, "",
+         "MPI_Init provides only MPI_THREAD_SINGLE but MPI calls appear "
+         "inside omp parallel regions; use MPI_Init_thread");
+  }
+  // V1: requested level below MULTIPLE with unserialized parallel MPI calls.
+  if (analysis.uses_init_thread && !analysis.requested_level.empty() &&
+      analysis.requested_level != "MPI_THREAD_MULTIPLE") {
+    for (const MpiCallSite& site : analysis.calls) {
+      if (!site.in_parallel || site.routine == "MPI_Init_thread") continue;
+      const bool serialized =
+          !site.critical_stack.empty() || site.in_master_or_single;
+      if (analysis.requested_level == "MPI_THREAD_FUNNELED" &&
+          !site.in_master_or_single) {
+        warn(WarningClass::kInitialization, site.line, site.label,
+             site.routine + " may run off the main thread under " +
+                 analysis.requested_level);
+      } else if (analysis.requested_level == "MPI_THREAD_SERIALIZED" &&
+                 !serialized) {
+        warn(WarningClass::kInitialization, site.line, site.label,
+             site.routine + " is not serialized under " +
+                 analysis.requested_level);
+      } else if (analysis.requested_level == "MPI_THREAD_SINGLE") {
+        warn(WarningClass::kInitialization, site.line, site.label,
+             site.routine + " inside a parallel region under MPI_THREAD_SINGLE");
+      }
+    }
+  }
+
+  // V2: MPI_Finalize inside a parallel region.
+  for (const MpiCallSite& site : analysis.calls) {
+    if (site.routine == "MPI_Finalize" && site.in_parallel) {
+      warn(WarningClass::kFinalization, site.line, site.label,
+           "MPI_Finalize inside an omp parallel region may run off the main "
+           "thread or race with pending MPI calls");
+    }
+  }
+
+  // Pairwise checks over parallel-region sites.
+  for (std::size_t i = 0; i < analysis.calls.size(); ++i) {
+    for (std::size_t j = i; j < analysis.calls.size(); ++j) {
+      const MpiCallSite& a = analysis.calls[i];
+      const MpiCallSite& b = analysis.calls[j];
+      if (i == j) {
+        // A single site can self-race when executed by a whole team — unless
+        // it is serialized by master/single or by a critical section.
+        if (!a.in_parallel || a.in_master_or_single ||
+            !a.critical_stack.empty()) {
+          continue;
+        }
+      } else if (!potentially_concurrent(a, b)) {
+        continue;
+      }
+
+      // V3: receives with identical (source, tag, comm) argument text.
+      if (is_recv(a) && is_recv(b)) {
+        std::string sa, ta, ca, sb, tb, cb;
+        src_tag_comm(a, &sa, &ta, &ca);
+        src_tag_comm(b, &sb, &tb, &cb);
+        if (sa == sb && ta == tb && ca == cb) {
+          warn(WarningClass::kConcurrentRecv, a.line,
+               a.label + (i == j ? "" : " / " + b.label),
+               "concurrent receives share source=" + sa + " tag=" + ta +
+                   " comm=" + ca);
+        }
+      }
+      // V5: probe racing probe/recv on the same (source, tag, comm).
+      if ((is_probe_site(a) && (is_probe_site(b) || is_recv(b))) ||
+          (is_probe_site(b) && is_recv(a))) {
+        std::string sa, ta, ca, sb, tb, cb;
+        src_tag_comm(a, &sa, &ta, &ca);
+        src_tag_comm(b, &sb, &tb, &cb);
+        if (sa == sb && ta == tb && ca == cb) {
+          warn(WarningClass::kProbe, a.line,
+               a.label + (i == j ? "" : " / " + b.label),
+               "probe and receive race on source=" + sa + " tag=" + ta);
+        }
+      }
+      // V4: Wait/Test on the same request expression.
+      if (is_wait_test(a) && is_wait_test(b)) {
+        const std::string ra = arg_or(a, 0, "?");
+        const std::string rb = arg_or(b, 0, "?");
+        if (ra == rb) {
+          warn(WarningClass::kConcurrentRequest, a.line,
+               a.label + (i == j ? "" : " / " + b.label),
+               "concurrent completion calls on request " + ra);
+        }
+      }
+      // V6: collectives on the same communicator expression.
+      if (is_collective_site(a) && is_collective_site(b)) {
+        const std::string ca = a.args.empty() ? "?" : a.args.back();
+        const std::string cb = b.args.empty() ? "?" : b.args.back();
+        if (ca == cb) {
+          warn(WarningClass::kCollectiveCall, a.line,
+               a.label + (i == j ? "" : " / " + b.label),
+               "concurrent collectives on communicator " + ca);
+        }
+      }
+    }
+  }
+
+  return warnings;
+}
+
+std::vector<StaticWarning> diagnose_source(const std::string& source) {
+  return diagnose(analyze_source(source));
+}
+
+}  // namespace home::sast

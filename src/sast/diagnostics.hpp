@@ -1,0 +1,41 @@
+// Static diagnostics: the "statically detect potential unsafe hybrid
+// MPI/OpenMP programming styles" contribution.  Purely syntactic/structural
+// checks over the analysis result; each warning names the violation class it
+// anticipates, so the final report can cross-check static suspicion against
+// dynamic confirmation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sast/analysis.hpp"
+
+namespace home::sast {
+
+enum class WarningClass : std::uint8_t {
+  kInitialization,
+  kFinalization,
+  kConcurrentRecv,
+  kConcurrentRequest,
+  kProbe,
+  kCollectiveCall,
+};
+
+const char* warning_class_name(WarningClass w);
+
+struct StaticWarning {
+  WarningClass cls = WarningClass::kInitialization;
+  int line = 0;
+  std::string site;     ///< callsite label (may be empty for whole-program).
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Run all static checks over an analysis result.
+std::vector<StaticWarning> diagnose(const AnalysisResult& analysis);
+
+/// Convenience: parse + analyze + diagnose.
+std::vector<StaticWarning> diagnose_source(const std::string& source);
+
+}  // namespace home::sast

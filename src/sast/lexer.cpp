@@ -1,0 +1,179 @@
+#include "src/sast/lexer.hpp"
+
+#include <cctype>
+
+#include "src/util/strings.hpp"
+
+namespace home::sast {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuation, longest first.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--",
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult result;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  bool line_has_token = false;  // any non-whitespace seen on this line yet.
+  const std::size_t n = source.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+        line_has_token = false;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  auto push = [&](TokenKind kind, std::string text, int tline, int tcol) {
+    result.tokens.push_back(Token{kind, std::move(text), tline, tcol});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c != '#') line_has_token = true;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) advance(1);
+      if (i + 1 < n) {
+        advance(2);
+      } else {
+        result.errors.push_back("unterminated block comment at line " +
+                                std::to_string(line));
+        advance(n - i);
+      }
+      continue;
+    }
+
+    // Preprocessor lines (with backslash continuations): a '#' that is the
+    // first non-whitespace character on its line.
+    if (c == '#' && !line_has_token) {
+      const int tline = line;
+      std::string text;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          advance(2);
+          text.push_back(' ');
+          continue;
+        }
+        if (source[i] == '\n') break;
+        text.push_back(source[i]);
+        advance(1);
+      }
+      const std::string trimmed = util::trim(text);
+      if (util::starts_with(trimmed, "#pragma")) {
+        push(TokenKind::kPragma, util::trim(trimmed.substr(7)), tline, 1);
+      } else if (util::starts_with(trimmed, "#include")) {
+        result.includes.push_back(trimmed);
+      }
+      // Other preprocessor lines are dropped.
+      continue;
+    }
+
+    const int tline = line;
+    const int tcol = col;
+
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(source[i])) {
+        text.push_back(source[i]);
+        advance(1);
+      }
+      push(TokenKind::kIdentifier, std::move(text), tline, tcol);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::string text;
+      while (i < n && (ident_char(source[i]) || source[i] == '.' ||
+                       ((source[i] == '+' || source[i] == '-') && i > 0 &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        text.push_back(source[i]);
+        advance(1);
+      }
+      push(TokenKind::kNumber, std::move(text), tline, tcol);
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text(1, quote);
+      advance(1);
+      bool terminated = false;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text.push_back(source[i]);
+          text.push_back(source[i + 1]);
+          advance(2);
+          continue;
+        }
+        if (source[i] == quote) {
+          text.push_back(quote);
+          advance(1);
+          terminated = true;
+          break;
+        }
+        if (source[i] == '\n') break;
+        text.push_back(source[i]);
+        advance(1);
+      }
+      if (!terminated) {
+        result.errors.push_back("unterminated literal at line " +
+                                std::to_string(tline));
+      }
+      push(quote == '"' ? TokenKind::kString : TokenKind::kCharLit,
+           std::move(text), tline, tcol);
+      continue;
+    }
+
+    // Punctuation: try multi-char first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        push(TokenKind::kPunct, p, tline, tcol);
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    push(TokenKind::kPunct, std::string(1, c), tline, tcol);
+    advance(1);
+  }
+
+  result.tokens.push_back(Token{TokenKind::kEof, "", line, col});
+  return result;
+}
+
+}  // namespace home::sast

@@ -1,0 +1,21 @@
+// Lexer for the hybrid-C subset. Preprocessor lines other than #pragma are
+// dropped (recorded separately for the rewriter); #pragma lines become single
+// kPragma tokens carrying the directive text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sast/token.hpp"
+
+namespace home::sast {
+
+struct LexResult {
+  std::vector<Token> tokens;           ///< ends with a kEof token.
+  std::vector<std::string> includes;   ///< raw "#include ..." lines, in order.
+  std::vector<std::string> errors;     ///< unterminated literals, etc.
+};
+
+LexResult lex(const std::string& source);
+
+}  // namespace home::sast

@@ -1,0 +1,494 @@
+#include "src/sast/parser.hpp"
+
+#include <cassert>
+#include <cctype>
+
+#include "src/sast/lexer.hpp"
+#include "src/util/strings.hpp"
+
+namespace home::sast {
+
+const char* omp_directive_name(OmpDirective directive) {
+  switch (directive) {
+    case OmpDirective::kNone: return "<none>";
+    case OmpDirective::kParallel: return "parallel";
+    case OmpDirective::kParallelFor: return "parallel for";
+    case OmpDirective::kParallelSections: return "parallel sections";
+    case OmpDirective::kFor: return "for";
+    case OmpDirective::kSections: return "sections";
+    case OmpDirective::kSection: return "section";
+    case OmpDirective::kCritical: return "critical";
+    case OmpDirective::kBarrier: return "barrier";
+    case OmpDirective::kSingle: return "single";
+    case OmpDirective::kMaster: return "master";
+    case OmpDirective::kUnknown: return "<unknown>";
+  }
+  return "?";
+}
+
+void visit_stmts(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  for (const auto& child : stmt.children) {
+    if (child) visit_stmts(*child, fn);
+  }
+  if (stmt.body) visit_stmts(*stmt.body, fn);
+  if (stmt.else_body) visit_stmts(*stmt.else_body, fn);
+}
+
+namespace {
+
+/// Parses an omp pragma's text ("omp parallel for num_threads(2)") into a
+/// directive and clause map.
+struct PragmaInfo {
+  OmpDirective directive = OmpDirective::kNone;
+  OmpClauses clauses;
+  std::string critical_name;
+};
+
+PragmaInfo parse_omp_pragma(const std::string& text) {
+  PragmaInfo info;
+  std::string rest = util::trim(text);
+  if (!util::starts_with(rest, "omp")) {
+    info.directive = OmpDirective::kNone;  // non-OpenMP pragma.
+    return info;
+  }
+  rest = util::trim(rest.substr(3));
+
+  auto take_word = [&]() -> std::string {
+    std::size_t k = 0;
+    while (k < rest.size() &&
+           (std::isalnum(static_cast<unsigned char>(rest[k])) || rest[k] == '_')) {
+      ++k;
+    }
+    std::string word = rest.substr(0, k);
+    rest = util::trim(rest.substr(k));
+    return word;
+  };
+
+  const std::string first = take_word();
+  if (first == "parallel") {
+    if (util::starts_with(rest, "for")) {
+      info.directive = OmpDirective::kParallelFor;
+      rest = util::trim(rest.substr(3));
+    } else if (util::starts_with(rest, "sections")) {
+      info.directive = OmpDirective::kParallelSections;
+      rest = util::trim(rest.substr(8));
+    } else {
+      info.directive = OmpDirective::kParallel;
+    }
+  } else if (first == "for") {
+    info.directive = OmpDirective::kFor;
+  } else if (first == "sections") {
+    info.directive = OmpDirective::kSections;
+  } else if (first == "section") {
+    info.directive = OmpDirective::kSection;
+  } else if (first == "critical") {
+    info.directive = OmpDirective::kCritical;
+    if (!rest.empty() && rest[0] == '(') {
+      const std::size_t close = rest.find(')');
+      if (close != std::string::npos) {
+        info.critical_name = util::trim(rest.substr(1, close - 1));
+        rest = util::trim(rest.substr(close + 1));
+      }
+    }
+  } else if (first == "barrier") {
+    info.directive = OmpDirective::kBarrier;
+  } else if (first == "single") {
+    info.directive = OmpDirective::kSingle;
+  } else if (first == "master") {
+    info.directive = OmpDirective::kMaster;
+  } else {
+    info.directive = OmpDirective::kUnknown;
+  }
+
+  // Clauses: word or word(balanced).
+  while (!rest.empty()) {
+    if (!std::isalpha(static_cast<unsigned char>(rest[0])) && rest[0] != '_') {
+      rest = util::trim(rest.substr(1));
+      continue;
+    }
+    const std::string clause = take_word();
+    std::string value;
+    if (!rest.empty() && rest[0] == '(') {
+      int depth = 0;
+      std::size_t k = 0;
+      for (; k < rest.size(); ++k) {
+        if (rest[k] == '(') ++depth;
+        if (rest[k] == ')' && --depth == 0) break;
+      }
+      if (k < rest.size()) {
+        value = util::trim(rest.substr(1, k - 1));
+        rest = util::trim(rest.substr(k + 1));
+      } else {
+        rest.clear();
+      }
+    }
+    if (!clause.empty()) info.clauses[clause] = value;
+  }
+  return info;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) {
+    LexResult lexed = lex(source);
+    tokens_ = std::move(lexed.tokens);
+    unit_.includes = std::move(lexed.includes);
+    unit_.errors = std::move(lexed.errors);
+  }
+
+  TranslationUnit run() {
+    while (!at_eof()) {
+      parse_top_level();
+    }
+    return std::move(unit_);
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t idx = pos_ + static_cast<std::size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool at_eof() const { return peek().is(TokenKind::kEof); }
+
+  void error(const std::string& msg, int line) {
+    unit_.errors.push_back("line " + std::to_string(line) + ": " + msg);
+  }
+
+  /// Skip to just past the next ';' or to a '}' (error recovery).
+  void synchronize() {
+    int depth = 0;
+    while (!at_eof()) {
+      const Token& t = peek();
+      if (depth == 0 && t.is_punct(";")) {
+        advance();
+        return;
+      }
+      if (t.is_punct("{")) ++depth;
+      if (t.is_punct("}")) {
+        if (depth == 0) return;
+        --depth;
+      }
+      advance();
+    }
+  }
+
+  // --- top level -------------------------------------------------------------
+
+  void parse_top_level() {
+    if (peek().is(TokenKind::kPragma)) {
+      // A stray global pragma: ignore (the paper's sources only use block
+      // pragmas inside functions).
+      advance();
+      return;
+    }
+    // Function definition heuristic: ident+ name ( ... ) {
+    const std::size_t save = pos_;
+    std::string return_type;
+    while (peek().is(TokenKind::kIdentifier) &&
+           peek(1).is(TokenKind::kIdentifier)) {
+      if (!return_type.empty()) return_type += " ";
+      return_type += advance().text;
+    }
+    // Pointer return types.
+    while (peek().is_punct("*")) {
+      return_type += "*";
+      advance();
+    }
+    // A bare `ident(...)` at top level with no return type is a global call
+    // statement (e.g. the listings' MPI_MonitorVariableSetup), not a
+    // prototype — prototypes carry a return type.
+    if (return_type.empty() && peek().is(TokenKind::kIdentifier) &&
+        peek(1).is_punct("(")) {
+      pos_ = save;
+      auto stmt = parse_simple_statement();
+      if (stmt) unit_.globals.push_back(std::move(stmt));
+      return;
+    }
+    if (peek().is(TokenKind::kIdentifier) && peek(1).is_punct("(")) {
+      const Token name = advance();
+      advance();  // '('
+      std::string params;
+      int depth = 1;
+      while (!at_eof() && depth > 0) {
+        const Token& t = peek();
+        if (t.is_punct("(")) ++depth;
+        if (t.is_punct(")")) {
+          --depth;
+          if (depth == 0) {
+            advance();
+            break;
+          }
+        }
+        if (!params.empty()) params += " ";
+        params += t.text;
+        advance();
+      }
+      if (peek().is_punct("{")) {
+        Function fn;
+        fn.return_type = return_type;
+        fn.name = name.text;
+        fn.params = params;
+        fn.line = name.line;
+        fn.body = parse_block();
+        unit_.functions.push_back(std::move(fn));
+        return;
+      }
+      if (peek().is_punct(";")) {  // prototype.
+        advance();
+        return;
+      }
+    }
+    // Not a function: a global statement (declaration / setup call).
+    pos_ = save;
+    auto stmt = parse_simple_statement();
+    if (stmt) unit_.globals.push_back(std::move(stmt));
+    // Guarantee progress on malformed input (e.g. a stray '}' at top level
+    // consumes nothing above).
+    if (pos_ == save && !at_eof()) advance();
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  std::unique_ptr<Stmt> parse_block() {
+    assert(peek().is_punct("{"));
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = peek().line;
+    advance();  // '{'
+    while (!at_eof() && !peek().is_punct("}")) {
+      auto stmt = parse_statement();
+      if (stmt) block->children.push_back(std::move(stmt));
+    }
+    if (peek().is_punct("}")) advance();
+    return block;
+  }
+
+  std::unique_ptr<Stmt> parse_statement() {
+    const Token& t = peek();
+
+    if (t.is(TokenKind::kPragma)) return parse_pragma_statement();
+    if (t.is_punct("{")) return parse_block();
+    if (t.is_punct(";")) {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kEmpty;
+      s->line = t.line;
+      return s;
+    }
+    if (t.is_ident("if")) return parse_if();
+    if (t.is_ident("for")) return parse_loop(StmtKind::kFor);
+    if (t.is_ident("while")) return parse_loop(StmtKind::kWhile);
+    if (t.is_ident("do")) return parse_do_while();
+    if (t.is_ident("switch")) return parse_loop(StmtKind::kSwitch);
+    if (t.is_ident("case") || t.is_ident("default")) {
+      // Case labels: consume up to ':' as an empty marker statement.
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kEmpty;
+      s->line = t.line;
+      while (!at_eof() && !peek().is_punct(":")) advance();
+      if (peek().is_punct(":")) advance();
+      return s;
+    }
+    if (t.is_ident("return")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kReturn;
+      s->line = t.line;
+      advance();
+      collect_until_semicolon(*s);
+      return s;
+    }
+    if (t.is_ident("else")) {  // stray else: recover.
+      error("unexpected 'else'", t.line);
+      advance();
+      return nullptr;
+    }
+    return parse_simple_statement();
+  }
+
+  std::unique_ptr<Stmt> parse_pragma_statement() {
+    const Token pragma = advance();
+    const PragmaInfo info = parse_omp_pragma(pragma.text);
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kOmp;
+    s->line = pragma.line;
+    s->directive = info.directive;
+    s->clauses = info.clauses;
+    s->critical_name = info.critical_name;
+
+    switch (info.directive) {
+      case OmpDirective::kNone:
+      case OmpDirective::kUnknown:
+      case OmpDirective::kBarrier:
+        return s;  // standalone.
+      default:
+        break;
+    }
+    // Structured block (or single statement) follows.
+    if (!at_eof() && !peek().is_punct("}")) {
+      s->body = parse_statement();
+    } else {
+      error("omp " + std::string(omp_directive_name(info.directive)) +
+                " without a following statement",
+            pragma.line);
+    }
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parse_if() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->line = peek().line;
+    advance();  // 'if'
+    parse_parenthesized_condition(*s);
+    s->body = parse_statement();
+    if (peek().is_ident("else")) {
+      advance();
+      s->else_body = parse_statement();
+    }
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parse_do_while() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kDoWhile;
+    s->line = peek().line;
+    advance();  // 'do'
+    s->body = parse_statement();
+    if (peek().is_ident("while")) {
+      advance();
+      parse_parenthesized_condition(*s);
+      if (peek().is_punct(";")) advance();
+    } else {
+      error("expected 'while' after do-body", s->line);
+    }
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parse_loop(StmtKind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = peek().line;
+    advance();  // 'for' / 'while'
+    parse_parenthesized_condition(*s);
+    s->body = parse_statement();
+    return s;
+  }
+
+  /// Reads "( ... )" into s.text (and extracts calls found inside).
+  void parse_parenthesized_condition(Stmt& s) {
+    if (!peek().is_punct("(")) {
+      error("expected '('", peek().line);
+      return;
+    }
+    const std::size_t start = pos_;
+    advance();
+    int depth = 1;
+    while (!at_eof() && depth > 0) {
+      if (peek().is_punct("(")) ++depth;
+      if (peek().is_punct(")")) --depth;
+      advance();
+    }
+    s.text = span_text(start + 1, pos_ - 1);
+    extract_calls(start + 1, pos_ - 1, s.calls);
+  }
+
+  /// Expression / declaration statement ending at ';'.
+  std::unique_ptr<Stmt> parse_simple_statement() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kExpr;
+    s->line = peek().line;
+    collect_until_semicolon(*s);
+    return s;
+  }
+
+  void collect_until_semicolon(Stmt& s) {
+    const std::size_t start = pos_;
+    int depth = 0;
+    while (!at_eof()) {
+      const Token& t = peek();
+      if (depth == 0 && t.is_punct(";")) break;
+      if (depth == 0 && t.is_punct("}")) {
+        error("expected ';'", t.line);
+        break;
+      }
+      if (t.is_punct("(") || t.is_punct("[") || t.is_punct("{")) ++depth;
+      if (t.is_punct(")") || t.is_punct("]") || t.is_punct("}")) --depth;
+      advance();
+    }
+    const std::size_t end = pos_;
+    if (peek().is_punct(";")) advance();
+    s.text = (s.text.empty() ? "" : s.text + " ") + span_text(start, end);
+    extract_calls(start, end, s.calls);
+  }
+
+  std::string span_text(std::size_t begin, std::size_t end) const {
+    std::string out;
+    for (std::size_t k = begin; k < end && k < tokens_.size(); ++k) {
+      if (!out.empty()) out += " ";
+      out += tokens_[k].text;
+    }
+    return out;
+  }
+
+  /// Finds every `ident (` in [begin, end) and records callee + top-level
+  /// argument texts. Nested calls are recorded too (linear rescan).
+  void extract_calls(std::size_t begin, std::size_t end,
+                     std::vector<CallExpr>& out) const {
+    for (std::size_t k = begin; k + 1 < end; ++k) {
+      if (!tokens_[k].is(TokenKind::kIdentifier)) continue;
+      if (!tokens_[k + 1].is_punct("(")) continue;
+      // Skip control keywords that look like calls.
+      const std::string& name = tokens_[k].text;
+      if (name == "if" || name == "for" || name == "while" || name == "sizeof" ||
+          name == "return" || name == "switch") {
+        continue;
+      }
+      CallExpr call;
+      call.callee = name;
+      call.line = tokens_[k].line;
+      call.col = tokens_[k].col;
+      // Scan the balanced argument list.
+      std::size_t j = k + 1;
+      int depth = 0;
+      std::string current;
+      for (; j < end; ++j) {
+        const Token& t = tokens_[j];
+        if (t.is_punct("(")) {
+          ++depth;
+          if (depth == 1) continue;
+        }
+        if (t.is_punct(")")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (depth == 1 && t.is_punct(",")) {
+          call.args.push_back(util::trim(current));
+          current.clear();
+          continue;
+        }
+        if (depth >= 1) {
+          if (!current.empty()) current += " ";
+          current += t.text;
+        }
+      }
+      if (!util::trim(current).empty()) call.args.push_back(util::trim(current));
+      out.push_back(std::move(call));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  TranslationUnit unit_;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::string& source) { return Parser(source).run(); }
+
+}  // namespace home::sast

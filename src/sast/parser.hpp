@@ -1,0 +1,15 @@
+// Recursive-descent parser for the hybrid-C subset.
+#pragma once
+
+#include <string>
+
+#include "src/sast/ast.hpp"
+
+namespace home::sast {
+
+/// Parse a whole source file. Parse errors are collected in
+/// TranslationUnit::errors; parsing is error-tolerant (skips to the next ';'
+/// or '}' on trouble) so analysis still sees the rest of the file.
+TranslationUnit parse(const std::string& source);
+
+}  // namespace home::sast

@@ -1,0 +1,73 @@
+#include "src/sast/rewriter.hpp"
+
+#include <map>
+#include <vector>
+
+#include "src/util/strings.hpp"
+
+namespace home::sast {
+namespace {
+
+constexpr const char* kSetupLine =
+    "MPI_MonitorVariableSetup(srctmp, tagtmp, commtmp, requesttmp, "
+    "collectivetmp, finalizetmp);";
+
+}  // namespace
+
+RewriteResult rewrite(const std::string& source, const AnalysisResult& analysis) {
+  RewriteResult result;
+
+  // Group planned call sites by line for positional replacement.
+  std::map<int, std::vector<const MpiCallSite*>> by_line;
+  for (const MpiCallSite& site : analysis.calls) {
+    if (analysis.plan.instrument.count(site.label) > 0 &&
+        util::starts_with(site.routine, "MPI_")) {
+      by_line[site.line].push_back(&site);
+    }
+  }
+
+  std::vector<std::string> lines = util::split(source, '\n');
+  std::size_t insert_at = 0;  // index just after the last #include line.
+
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const int line_no = static_cast<int>(idx) + 1;
+    std::string& line = lines[idx];
+
+    if (util::contains(line, "#include") && util::contains(line, "mpi.h") &&
+        !util::contains(line, "mympi.h")) {
+      line = util::replace_all(line, "mpi.h", "mympi.h");
+      result.header_swapped = true;
+    }
+    if (util::contains(line, "#include")) {
+      insert_at = idx + 1;
+    }
+
+    auto it = by_line.find(line_no);
+    if (it == by_line.end()) continue;
+    for (const MpiCallSite* site : it->second) {
+      // Replace this routine name once per site occurrence; sites on the same
+      // line with the same routine each consume one occurrence left-to-right.
+      const std::string target = site->routine + "(";
+      std::size_t pos = line.find(target);
+      // Skip occurrences already rewritten.
+      while (pos != std::string::npos && pos >= 1 && line[pos - 1] == 'H') {
+        pos = line.find(target, pos + 1);
+      }
+      if (pos == std::string::npos) continue;
+      line.replace(pos, site->routine.size(), "H" + site->routine);
+      ++result.replaced;
+    }
+  }
+
+  // Insert the monitored-variable setup after the last include (or at top).
+  if (result.replaced > 0 || result.header_swapped) {
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                 kSetupLine);
+    result.setup_inserted = true;
+  }
+
+  result.source = util::join(lines, "\n");
+  return result;
+}
+
+}  // namespace home::sast

@@ -1,0 +1,24 @@
+// Source rewriter: applies Algorithm 1's transformation textually —
+// MPI calls inside parallel regions become HMPI_* wrapper calls, the mympi.h
+// header replaces mpi.h, and the monitored-variable setup call is inserted
+// at the top of the global region (compare the paper's Listings 1-6).
+#pragma once
+
+#include <string>
+
+#include "src/sast/analysis.hpp"
+
+namespace home::sast {
+
+struct RewriteResult {
+  std::string source;        ///< the instrumented program text.
+  std::size_t replaced = 0;  ///< number of MPI_ -> HMPI_ substitutions.
+  bool header_swapped = false;
+  bool setup_inserted = false;
+};
+
+/// Rewrite `source` according to the instrumentation plan in `analysis`
+/// (obtained from analyze_source(source)).
+RewriteResult rewrite(const std::string& source, const AnalysisResult& analysis);
+
+}  // namespace home::sast

@@ -1,0 +1,38 @@
+// Token model for the hybrid-C front end.
+//
+// sast parses the C-with-OpenMP-pragmas subset the paper's case studies and
+// benchmarks are written in — enough to build a CFG, find `#pragma omp`
+// regions and extract MPI call arguments (the compile-time phase of HOME).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace home::sast {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   ///< names, keywords, MPI_* routine names.
+  kNumber,
+  kString,
+  kCharLit,
+  kPunct,        ///< single/multi char operators and separators.
+  kPragma,       ///< one whole "#pragma ..." line (text holds the content).
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;  ///< 1-based.
+  int col = 0;   ///< 1-based.
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_ident(const std::string& s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+  bool is_punct(const std::string& s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+};
+
+}  // namespace home::sast

@@ -1,0 +1,72 @@
+#include "src/simmpi/api.hpp"
+
+namespace home::simmpi::api {
+
+Process& self() {
+  Process* p = Universe::current();
+  if (!p) throw UsageError("simmpi::api used outside a Universe::run rank");
+  return *p;
+}
+
+int rank() { return self().rank(); }
+int size() { return self().size(); }
+
+void init(const CallOpts& opts) { self().init(opts); }
+
+ThreadLevel init_thread(ThreadLevel requested, const CallOpts& opts) {
+  return self().init_thread(requested, opts);
+}
+
+void finalize(const CallOpts& opts) { self().finalize(opts); }
+
+bool is_thread_main() { return self().is_thread_main(); }
+
+Err send(const void* buf, int count, Datatype dt, int dest, int tag, Comm comm,
+         const CallOpts& opts) {
+  return self().send(buf, count, dt, dest, tag, comm, opts);
+}
+
+Err recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+         Status* status, const CallOpts& opts) {
+  return self().recv(buf, count, dt, src, tag, comm, status, opts);
+}
+
+Request isend(const void* buf, int count, Datatype dt, int dest, int tag,
+              Comm comm, const CallOpts& opts) {
+  return self().isend(buf, count, dt, dest, tag, comm, opts);
+}
+
+Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+              const CallOpts& opts) {
+  return self().irecv(buf, count, dt, src, tag, comm, opts);
+}
+
+Err wait(Request& request, Status* status, const CallOpts& opts) {
+  return self().wait(request, status, opts);
+}
+
+bool test(Request& request, Status* status, const CallOpts& opts) {
+  return self().test(request, status, opts);
+}
+
+void probe(int src, int tag, Comm comm, Status* status, const CallOpts& opts) {
+  self().probe(src, tag, comm, status, opts);
+}
+
+bool iprobe(int src, int tag, Comm comm, Status* status, const CallOpts& opts) {
+  return self().iprobe(src, tag, comm, status, opts);
+}
+
+void barrier(Comm comm, const CallOpts& opts) { self().barrier(comm, opts); }
+
+void bcast(void* buf, int count, Datatype dt, int root, Comm comm,
+           const CallOpts& opts) {
+  self().bcast(buf, count, dt, root, comm, opts);
+}
+
+void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+               ReduceOp op, Comm comm, const CallOpts& opts) {
+  self().allreduce(sendbuf, recvbuf, count, dt, op, comm, opts);
+}
+
+}  // namespace home::simmpi::api

@@ -1,0 +1,46 @@
+// Flat, MPI-spelled convenience API forwarding to the calling thread's
+// current Process (Universe::current()).  Application kernels written against
+// these functions read like textbook hybrid MPI/OpenMP code.
+//
+// The SIMMPI_CALLSITE macro attaches the static-analysis callsite label the
+// instrumentation plan keys on (see src/sast/instr_plan.hpp).
+#pragma once
+
+#include "src/simmpi/universe.hpp"
+
+namespace home::simmpi::api {
+
+/// The calling thread's rank context; throws UsageError outside a run.
+Process& self();
+
+int rank();
+int size();
+
+void init(const CallOpts& opts = {});
+ThreadLevel init_thread(ThreadLevel requested, const CallOpts& opts = {});
+void finalize(const CallOpts& opts = {});
+bool is_thread_main();
+
+Err send(const void* buf, int count, Datatype dt, int dest, int tag,
+         Comm comm = kCommWorld, const CallOpts& opts = {});
+Err recv(void* buf, int count, Datatype dt, int src, int tag,
+         Comm comm = kCommWorld, Status* status = nullptr,
+         const CallOpts& opts = {});
+Request isend(const void* buf, int count, Datatype dt, int dest, int tag,
+              Comm comm = kCommWorld, const CallOpts& opts = {});
+Request irecv(void* buf, int count, Datatype dt, int src, int tag,
+              Comm comm = kCommWorld, const CallOpts& opts = {});
+Err wait(Request& request, Status* status = nullptr, const CallOpts& opts = {});
+bool test(Request& request, Status* status = nullptr, const CallOpts& opts = {});
+void probe(int src, int tag, Comm comm, Status* status, const CallOpts& opts = {});
+bool iprobe(int src, int tag, Comm comm, Status* status, const CallOpts& opts = {});
+
+void barrier(Comm comm = kCommWorld, const CallOpts& opts = {});
+void bcast(void* buf, int count, Datatype dt, int root, Comm comm = kCommWorld,
+           const CallOpts& opts = {});
+void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+               ReduceOp op, Comm comm = kCommWorld, const CallOpts& opts = {});
+
+#define SIMMPI_CALLSITE(label) ::home::simmpi::CallOpts{label}
+
+}  // namespace home::simmpi::api

@@ -1,0 +1,30 @@
+// Optional thread-level enforcement, mirroring how a real MPI library (or a
+// debug build of one) aborts on calls that violate the provided
+// MPI_THREAD_* level.  By default simmpi records but allows violations so
+// the checkers can observe them; installing the enforcer turns misuse into
+// hard failures — useful for tests and for demonstrating what the paper's
+// bugs do on a strict MPI implementation.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "src/simmpi/hooks.hpp"
+
+namespace home::simmpi {
+
+class ThreadLevelEnforcer : public MpiHooks {
+ public:
+  void on_call_begin(const CallDesc& desc) override;
+  void on_call_end(const CallDesc& desc) override;
+
+  std::size_t checked_calls() const { return checked_.load(); }
+
+ private:
+  std::atomic<std::size_t> checked_{0};
+  std::mutex mu_;
+  std::map<int, int> in_flight_;  ///< rank -> MPI calls currently executing.
+};
+
+}  // namespace home::simmpi

@@ -1,0 +1,48 @@
+#include "src/simmpi/hooks.hpp"
+
+#include <algorithm>
+
+namespace home::simmpi {
+
+void HookRegistry::add(MpiHooks* hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.push_back(hooks);
+}
+
+void HookRegistry::remove(MpiHooks* hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks), hooks_.end());
+}
+
+void HookRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.clear();
+}
+
+bool HookRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hooks_.empty();
+}
+
+void HookRegistry::begin(const CallDesc& desc) const {
+  // Snapshot under the lock, invoke outside it: hooks may block (the
+  // Marmot-like agent does a round-trip) and must not serialize unrelated
+  // registry operations.
+  std::vector<MpiHooks*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = hooks_;
+  }
+  for (MpiHooks* h : snapshot) h->on_call_begin(desc);
+}
+
+void HookRegistry::end(const CallDesc& desc) const {
+  std::vector<MpiHooks*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = hooks_;
+  }
+  for (MpiHooks* h : snapshot) h->on_call_end(desc);
+}
+
+}  // namespace home::simmpi

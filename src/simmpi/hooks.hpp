@@ -1,0 +1,59 @@
+// PMPI-style interposition layer.
+//
+// Every simmpi entry point builds a CallDesc and notifies the registered
+// hooks before and after executing.  HOME's MPI wrappers, the Marmot-like
+// baseline and the ITC-like baseline are all implemented as hooks — the same
+// seam the real tools get from the MPI profiling interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/simmpi/types.hpp"
+#include "src/trace/event.hpp"
+
+namespace home::simmpi {
+
+class Process;
+
+/// Everything a checker can observe about one MPI call.
+struct CallDesc {
+  trace::MpiCallType type = trace::MpiCallType::kOther;
+  int rank = -1;              ///< world rank of the calling "process".
+  int peer = -1;              ///< source/dest/root rank in comm terms, -1 n/a.
+  int tag = kAnyTag;          ///< -1 if n/a.
+  CommId comm = 0;
+  std::uint64_t request = 0;  ///< request id for Isend/Irecv/Wait/Test.
+  const char* callsite = nullptr;
+  ThreadLevel provided = ThreadLevel::kSingle;
+  bool on_main_thread = false;  ///< calling thread is the rank's main thread.
+  Process* process = nullptr;
+};
+
+class MpiHooks {
+ public:
+  virtual ~MpiHooks() = default;
+  /// Invoked before the call body executes (before any blocking).
+  virtual void on_call_begin(const CallDesc& desc) { (void)desc; }
+  /// Invoked after the call body returns.
+  virtual void on_call_end(const CallDesc& desc) { (void)desc; }
+};
+
+class HookRegistry {
+ public:
+  void add(MpiHooks* hooks);
+  void remove(MpiHooks* hooks);
+  void clear();
+  bool empty() const;
+
+  void begin(const CallDesc& desc) const;
+  void end(const CallDesc& desc) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<MpiHooks*> hooks_;
+};
+
+}  // namespace home::simmpi

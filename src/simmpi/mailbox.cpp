@@ -1,0 +1,123 @@
+#include "src/simmpi/mailbox.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace home::simmpi {
+
+bool Mailbox::matches(const Envelope& msg, int src, int tag, CommId comm) {
+  if (msg.comm != comm) return false;
+  if (src != kAnySource && msg.src != src) return false;
+  if (tag != kAnyTag && msg.tag != tag) return false;
+  return true;
+}
+
+void Mailbox::complete_recv(RequestState& recv, Envelope& msg) {
+  const std::size_t elem = datatype_size(msg.dt);
+  const std::size_t incoming = msg.payload.size();
+  const std::size_t capacity = static_cast<std::size_t>(recv.count) * datatype_size(recv.dt);
+  const std::size_t ncopy = incoming < capacity ? incoming : capacity;
+  if (recv.buf && ncopy > 0) std::memcpy(recv.buf, msg.payload.data(), ncopy);
+
+  Status status;
+  status.source = msg.src;
+  status.tag = msg.tag;
+  status.count = elem ? static_cast<int>(ncopy / elem) : 0;
+  status.msg_id = msg.msg_id;
+  recv.complete(status, incoming > capacity ? Err::kTruncate : Err::kOk);
+
+  if (msg.token) {
+    {
+      std::lock_guard<std::mutex> lock(msg.token->mu);
+      msg.token->consumed = true;
+    }
+    msg.token->cv.notify_all();
+  }
+}
+
+void Mailbox::deliver(Envelope msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    RequestState& recv = **it;
+    if (matches(msg, recv.match_src, recv.match_tag, recv.match_comm)) {
+      // Exact-match criteria are stored on the request, so re-check against
+      // the *request's* pattern (wildcards live on the receive side).
+      auto matched = *it;
+      posted_.erase(it);
+      lock.unlock();
+      complete_recv(*matched, msg);
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(msg));
+  cv_.notify_all();
+}
+
+void Mailbox::post_recv(const std::shared_ptr<RequestState>& recv) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(*it, recv->match_src, recv->match_tag, recv->match_comm)) {
+      Envelope msg = std::move(*it);
+      unexpected_.erase(it);
+      lock.unlock();
+      complete_recv(*recv, msg);
+      return;
+    }
+  }
+  posted_.push_back(recv);
+}
+
+bool Mailbox::iprobe(int src, int tag, CommId comm, Status* status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Envelope& msg : unexpected_) {
+    if (matches(msg, src, tag, comm)) {
+      if (status) {
+        status->source = msg.src;
+        status->tag = msg.tag;
+        const std::size_t elem = datatype_size(msg.dt);
+        status->count = elem ? static_cast<int>(msg.payload.size() / elem) : 0;
+        status->msg_id = msg.msg_id;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::probe(int src, int tag, CommId comm, Status* status, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto match_now = [&]() -> const Envelope* {
+    for (const Envelope& msg : unexpected_) {
+      if (matches(msg, src, tag, comm)) return &msg;
+    }
+    return nullptr;
+  };
+  const Envelope* found = nullptr;
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, [&] { return (found = match_now()) != nullptr; });
+  } else {
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return (found = match_now()) != nullptr; })) {
+      throw TimeoutError("MPI_Probe timed out (possible deadlock)");
+    }
+  }
+  if (status && found) {
+    status->source = found->src;
+    status->tag = found->tag;
+    const std::size_t elem = datatype_size(found->dt);
+    status->count = elem ? static_cast<int>(found->payload.size() / elem) : 0;
+    status->msg_id = found->msg_id;
+  }
+}
+
+std::size_t Mailbox::unexpected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unexpected_.size();
+}
+
+std::size_t Mailbox::posted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return posted_.size();
+}
+
+}  // namespace home::simmpi

@@ -1,0 +1,397 @@
+// Point-to-point operations: eager-copy sends (optionally rendezvous),
+// blocking and nonblocking receives, probe, and request completion.
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/simmpi/universe.hpp"
+
+namespace home::simmpi {
+namespace {
+
+std::vector<std::byte> copy_payload(const void* buf, int count, Datatype dt) {
+  const std::size_t nbytes = static_cast<std::size_t>(count) * datatype_size(dt);
+  std::vector<std::byte> payload(nbytes);
+  if (nbytes > 0) std::memcpy(payload.data(), buf, nbytes);
+  return payload;
+}
+
+}  // namespace
+
+Err Process::send(const void* buf, int count, Datatype dt, int dest, int tag,
+                  Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kSend, dest, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        CommImpl& impl = resolve(comm, &my_comm_rank);
+        const int dest_world = impl.world_rank_of(dest);
+
+        Envelope msg;
+        msg.src = my_comm_rank;
+        msg.tag = tag;
+        msg.comm = comm.id;
+        msg.dt = dt;
+        msg.count = count;
+        msg.msg_id = next_message_id();
+        msg.payload = copy_payload(buf, count, dt);
+
+        std::shared_ptr<SendToken> token;
+        if (uni_->config().rendezvous_sends) {
+          token = std::make_shared<SendToken>();
+          msg.token = token;
+        }
+
+        if (uni_->log() && uni_->config().emit_message_edges) {
+          trace::Event e;
+          e.tid = uni_->registry() ? uni_->registry()->current_tid() : trace::kNoTid;
+          e.rank = rank_;
+          e.kind = trace::EventKind::kMsgSend;
+          e.obj = msg.msg_id;
+          uni_->log()->emit(std::move(e));
+        }
+
+        uni_->mailbox(dest_world).deliver(std::move(msg));
+
+        if (token) {
+          std::unique_lock<std::mutex> lock(token->mu);
+          const int timeout = uni_->config().block_timeout_ms;
+          if (timeout <= 0) {
+            token->cv.wait(lock, [&] { return token->consumed; });
+          } else if (!token->cv.wait_for(lock, std::chrono::milliseconds(timeout),
+                                         [&] { return token->consumed; })) {
+            throw TimeoutError("MPI_Send (rendezvous) timed out: dest=" +
+                               std::to_string(dest) + " tag=" + std::to_string(tag));
+          }
+        }
+        return Err::kOk;
+      });
+}
+
+Request Process::irecv(void* buf, int count, Datatype dt, int src, int tag,
+                       Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kIrecv, src, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        resolve(comm, &my_comm_rank);
+        auto state = std::make_shared<RequestState>(RequestKind::kRecv,
+                                                    next_request_id());
+        state->match_src = src;
+        state->match_tag = tag;
+        state->match_comm = comm.id;
+        state->buf = buf;
+        state->count = count;
+        state->dt = dt;
+        uni_->mailbox(rank_).post_recv(state);
+        return Request(state);
+      });
+}
+
+Err Process::recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+                  Status* status, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kRecv, src, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        resolve(comm, &my_comm_rank);
+        auto state = std::make_shared<RequestState>(RequestKind::kRecv,
+                                                    next_request_id());
+        state->match_src = src;
+        state->match_tag = tag;
+        state->match_comm = comm.id;
+        state->buf = buf;
+        state->count = count;
+        state->dt = dt;
+        uni_->mailbox(rank_).post_recv(state);
+        const Err err = state->wait(uni_->config().block_timeout_ms);
+        const Status st = state->status();
+        if (status) *status = st;
+        if (uni_->log() && uni_->config().emit_message_edges) {
+          trace::Event e;
+          e.tid = uni_->registry() ? uni_->registry()->current_tid() : trace::kNoTid;
+          e.rank = rank_;
+          e.kind = trace::EventKind::kMsgRecv;
+          e.obj = st.msg_id;
+          uni_->log()->emit(std::move(e));
+        }
+        return err;
+      });
+}
+
+Request Process::isend(const void* buf, int count, Datatype dt, int dest, int tag,
+                       Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kIsend, dest, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        CommImpl& impl = resolve(comm, &my_comm_rank);
+        const int dest_world = impl.world_rank_of(dest);
+
+        Envelope msg;
+        msg.src = my_comm_rank;
+        msg.tag = tag;
+        msg.comm = comm.id;
+        msg.dt = dt;
+        msg.count = count;
+        msg.msg_id = next_message_id();
+        msg.payload = copy_payload(buf, count, dt);
+
+        if (uni_->log() && uni_->config().emit_message_edges) {
+          trace::Event e;
+          e.tid = uni_->registry() ? uni_->registry()->current_tid() : trace::kNoTid;
+          e.rank = rank_;
+          e.kind = trace::EventKind::kMsgSend;
+          e.obj = msg.msg_id;
+          uni_->log()->emit(std::move(e));
+        }
+
+        // Eager semantics: the buffer is copied, so the send completes
+        // immediately from the caller's point of view.
+        auto state = std::make_shared<RequestState>(RequestKind::kSend,
+                                                    next_request_id());
+        uni_->mailbox(dest_world).deliver(std::move(msg));
+        state->complete(Status{}, Err::kOk);
+        return Request(state);
+      });
+}
+
+Err Process::wait(Request& request, Status* status, const CallOpts& opts) {
+  if (!request.valid()) throw UsageError("MPI_Wait on null request");
+  return hooked(
+      make_desc(trace::MpiCallType::kWait, -1, kAnyTag, 0, request.id(), opts),
+      [&] {
+        const Err err = request.state()->wait(uni_->config().block_timeout_ms);
+        const Status st = request.state()->status();
+        if (status) *status = st;
+        if (request.state()->kind() == RequestKind::kRecv && uni_->log() &&
+            uni_->config().emit_message_edges && st.msg_id != 0) {
+          trace::Event e;
+          e.tid = uni_->registry() ? uni_->registry()->current_tid() : trace::kNoTid;
+          e.rank = rank_;
+          e.kind = trace::EventKind::kMsgRecv;
+          e.obj = st.msg_id;
+          uni_->log()->emit(std::move(e));
+        }
+        return err;
+      });
+}
+
+bool Process::test(Request& request, Status* status, const CallOpts& opts) {
+  if (!request.valid()) throw UsageError("MPI_Test on null request");
+  return hooked(
+      make_desc(trace::MpiCallType::kTest, -1, kAnyTag, 0, request.id(), opts),
+      [&] {
+        Status st;
+        Err err = Err::kOk;
+        const bool done = request.state()->test(&st, &err);
+        if (done && status) *status = st;
+        return done;
+      });
+}
+
+void Process::probe(int src, int tag, Comm comm, Status* status,
+                    const CallOpts& opts) {
+  hooked(make_desc(trace::MpiCallType::kProbe, src, tag, comm.id, 0, opts), [&] {
+    resolve(comm, nullptr);
+    uni_->mailbox(rank_).probe(src, tag, comm.id, status,
+                               uni_->config().block_timeout_ms);
+  });
+}
+
+bool Process::iprobe(int src, int tag, Comm comm, Status* status,
+                     const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kIprobe, src, tag, comm.id, 0, opts), [&] {
+        resolve(comm, nullptr);
+        return uni_->mailbox(rank_).iprobe(src, tag, comm.id, status);
+      });
+}
+
+Err Process::ssend(const void* buf, int count, Datatype dt, int dest, int tag,
+                   Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kSend, dest, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        CommImpl& impl = resolve(comm, &my_comm_rank);
+        const int dest_world = impl.world_rank_of(dest);
+
+        Envelope msg;
+        msg.src = my_comm_rank;
+        msg.tag = tag;
+        msg.comm = comm.id;
+        msg.dt = dt;
+        msg.count = count;
+        msg.msg_id = next_message_id();
+        msg.payload = copy_payload(buf, count, dt);
+        // Synchronous mode: always rendezvous.
+        auto token = std::make_shared<SendToken>();
+        msg.token = token;
+
+        if (uni_->log() && uni_->config().emit_message_edges) {
+          trace::Event e;
+          e.tid = uni_->registry() ? uni_->registry()->current_tid() : trace::kNoTid;
+          e.rank = rank_;
+          e.kind = trace::EventKind::kMsgSend;
+          e.obj = msg.msg_id;
+          uni_->log()->emit(std::move(e));
+        }
+
+        uni_->mailbox(dest_world).deliver(std::move(msg));
+
+        std::unique_lock<std::mutex> lock(token->mu);
+        const int timeout = uni_->config().block_timeout_ms;
+        if (timeout <= 0) {
+          token->cv.wait(lock, [&] { return token->consumed; });
+        } else if (!token->cv.wait_for(lock, std::chrono::milliseconds(timeout),
+                                       [&] { return token->consumed; })) {
+          throw TimeoutError("MPI_Ssend timed out: dest=" + std::to_string(dest) +
+                             " tag=" + std::to_string(tag));
+        }
+        return Err::kOk;
+      });
+}
+
+Err Process::waitall(std::vector<Request>& requests, Status* statuses,
+                     const CallOpts& opts) {
+  Err worst = Err::kOk;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Status st;
+    const Err err = wait(requests[i], &st, opts);
+    if (statuses) statuses[i] = st;
+    if (err != Err::kOk) worst = err;
+  }
+  return worst;
+}
+
+int Process::waitany(std::vector<Request>& requests, Status* status,
+                     const CallOpts& opts) {
+  if (requests.empty()) throw UsageError("MPI_Waitany on empty request list");
+  // Register interest in every request (one logged completion call each) so
+  // the thread-safety analysis sees which requests this call may complete.
+  for (Request& r : requests) {
+    if (!r.valid()) continue;
+    hooked(make_desc(trace::MpiCallType::kWait, -1, kAnyTag, 0, r.id(), opts),
+           [] {});
+  }
+  const int timeout_ms = uni_->config().block_timeout_ms;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms
+                                                                 : 1 << 30);
+  for (;;) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].valid()) continue;
+      Status st;
+      Err err = Err::kOk;
+      if (requests[i].state()->test(&st, &err)) {
+        if (status) *status = st;
+        return static_cast<int>(i);
+      }
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw TimeoutError("MPI_Waitany timed out (possible deadlock)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+bool Process::testall(std::vector<Request>& requests, const CallOpts& opts) {
+  bool all_done = true;
+  for (Request& r : requests) {
+    if (!r.valid()) continue;
+    if (!test(r, nullptr, opts)) all_done = false;
+  }
+  return all_done;
+}
+
+Request Process::send_init(const void* buf, int count, Datatype dt, int dest,
+                           int tag, Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kIsend, dest, tag, comm.id, 0, opts), [&] {
+        int my_comm_rank = -1;
+        CommImpl& impl = resolve(comm, &my_comm_rank);
+        auto state = std::make_shared<RequestState>(RequestKind::kSend,
+                                                    next_request_id());
+        PersistentInfo info;
+        info.is_send = true;
+        info.send_buf = buf;
+        info.count = count;
+        info.dt = dt;
+        info.my_comm_rank = my_comm_rank;
+        info.peer_world = impl.world_rank_of(dest);
+        info.tag = tag;
+        info.comm = comm.id;
+        state->persistent = info;
+        state->complete(Status{}, Err::kOk);  // inactive until MPI_Start.
+        return Request(state);
+      });
+}
+
+Request Process::recv_init(void* buf, int count, Datatype dt, int src, int tag,
+                           Comm comm, const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kIrecv, src, tag, comm.id, 0, opts), [&] {
+        resolve(comm, nullptr);
+        auto state = std::make_shared<RequestState>(RequestKind::kRecv,
+                                                    next_request_id());
+        state->match_src = src;
+        state->match_tag = tag;
+        state->match_comm = comm.id;
+        state->buf = buf;
+        state->count = count;
+        state->dt = dt;
+        PersistentInfo info;
+        info.is_send = false;
+        info.count = count;
+        info.dt = dt;
+        info.tag = tag;
+        info.comm = comm.id;
+        state->persistent = info;
+        state->complete(Status{}, Err::kOk);  // inactive until MPI_Start.
+        return Request(state);
+      });
+}
+
+void Process::start(Request& request, const CallOpts& opts) {
+  if (!request.valid() || !request.state()->persistent) {
+    throw UsageError("MPI_Start on a non-persistent request");
+  }
+  hooked(make_desc(request.state()->persistent->is_send
+                       ? trace::MpiCallType::kIsend
+                       : trace::MpiCallType::kIrecv,
+                   -1, request.state()->persistent->tag,
+                   request.state()->persistent->comm, request.id(), opts),
+         [&] {
+           RequestState& state = *request.state();
+           const PersistentInfo& info = *state.persistent;
+           state.reset_for_restart();
+           if (info.is_send) {
+             Envelope msg;
+             msg.src = info.my_comm_rank;
+             msg.tag = info.tag;
+             msg.comm = info.comm;
+             msg.dt = info.dt;
+             msg.count = info.count;
+             msg.msg_id = next_message_id();
+             msg.payload = copy_payload(info.send_buf, info.count, info.dt);
+             uni_->mailbox(info.peer_world).deliver(std::move(msg));
+             state.complete(Status{}, Err::kOk);  // eager send semantics.
+           } else {
+             uni_->mailbox(rank_).post_recv(request.shared_state());
+           }
+         });
+}
+
+Err Process::sendrecv(const void* sendbuf, int sendcount, Datatype sdt, int dest,
+                      int sendtag, void* recvbuf, int recvcount, Datatype rdt,
+                      int src, int recvtag, Comm comm, Status* status,
+                      const CallOpts& opts) {
+  return hooked(
+      make_desc(trace::MpiCallType::kSendrecv, dest, sendtag, comm.id, 0, opts),
+      [&] {
+        // Post the receive first, then send, then complete the receive —
+        // deadlock-free for symmetric exchanges even in rendezvous mode.
+        Request r = irecv(recvbuf, recvcount, rdt, src, recvtag, comm);
+        const Err serr = send(sendbuf, sendcount, sdt, dest, sendtag, comm);
+        const Err rerr = wait(r, status);
+        return serr != Err::kOk ? serr : rerr;
+      });
+}
+
+}  // namespace home::simmpi

@@ -1,0 +1,72 @@
+#include "src/simmpi/request.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace home::simmpi {
+
+void RequestState::complete(Status status, Err err) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    status_ = status;
+    err_ = err;
+  }
+  cv_.notify_all();
+}
+
+Err RequestState::wait(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms <= 0) {
+    cv_.wait(lock, [this] { return done_; });
+  } else {
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this] { return done_; })) {
+      throw TimeoutError("MPI_Wait timed out (possible deadlock), request " +
+                         std::to_string(id_));
+    }
+  }
+  return err_;
+}
+
+bool RequestState::test(Status* status_out, Err* err_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!done_) return false;
+  if (status_out) *status_out = status_;
+  if (err_out) *err_out = err_;
+  return true;
+}
+
+void RequestState::reset_for_restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ = false;
+  status_ = Status{};
+  err_ = Err::kOk;
+}
+
+bool RequestState::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+Status RequestState::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+Err RequestState::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return err_;
+}
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_message_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace home::simmpi

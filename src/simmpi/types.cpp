@@ -1,0 +1,49 @@
+#include "src/simmpi/types.hpp"
+
+namespace home::simmpi {
+
+const char* thread_level_name(ThreadLevel level) {
+  switch (level) {
+    case ThreadLevel::kSingle: return "MPI_THREAD_SINGLE";
+    case ThreadLevel::kFunneled: return "MPI_THREAD_FUNNELED";
+    case ThreadLevel::kSerialized: return "MPI_THREAD_SERIALIZED";
+    case ThreadLevel::kMultiple: return "MPI_THREAD_MULTIPLE";
+  }
+  return "?";
+}
+
+std::size_t datatype_size(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return 1;
+    case Datatype::kChar: return 1;
+    case Datatype::kInt: return sizeof(int);
+    case Datatype::kLong: return sizeof(long);
+    case Datatype::kFloat: return sizeof(float);
+    case Datatype::kDouble: return sizeof(double);
+  }
+  return 1;
+}
+
+const char* datatype_name(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return "MPI_BYTE";
+    case Datatype::kChar: return "MPI_CHAR";
+    case Datatype::kInt: return "MPI_INT";
+    case Datatype::kLong: return "MPI_LONG";
+    case Datatype::kFloat: return "MPI_FLOAT";
+    case Datatype::kDouble: return "MPI_DOUBLE";
+  }
+  return "?";
+}
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "MPI_SUM";
+    case ReduceOp::kProd: return "MPI_PROD";
+    case ReduceOp::kMax: return "MPI_MAX";
+    case ReduceOp::kMin: return "MPI_MIN";
+  }
+  return "?";
+}
+
+}  // namespace home::simmpi

@@ -1,0 +1,84 @@
+// Core types of simmpi, the rank-as-thread MPI substrate.
+//
+// simmpi replaces the MPI library of the paper's testbed: every MPI "process"
+// is a thread of one OS process, which preserves call semantics (matching,
+// blocking, thread levels, communicators) while letting 64 ranks run on one
+// machine and letting the HOME tool observe every internal transition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace home::simmpi {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// MPI-2 thread support levels (MPI_THREAD_*).
+enum class ThreadLevel : std::uint8_t {
+  kSingle = 0,      ///< only one thread exists in the process.
+  kFunneled = 1,    ///< only the main thread may call MPI.
+  kSerialized = 2,  ///< any thread, but never two concurrently.
+  kMultiple = 3,    ///< unrestricted.
+};
+
+const char* thread_level_name(ThreadLevel level);
+
+/// Identifies a communicator; 0 is invalid, 1 is COMM_WORLD.
+using CommId = std::uint64_t;
+
+/// User-facing communicator handle (cheap value type, like MPI_Comm).
+struct Comm {
+  CommId id = 0;
+  bool valid() const { return id != 0; }
+  bool operator==(const Comm&) const = default;
+};
+
+inline constexpr Comm kCommNull{0};
+inline constexpr Comm kCommWorld{1};
+
+enum class Datatype : std::uint8_t { kByte, kChar, kInt, kLong, kFloat, kDouble };
+
+std::size_t datatype_size(Datatype dt);
+const char* datatype_name(Datatype dt);
+
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMax, kMin };
+
+const char* reduce_op_name(ReduceOp op);
+
+/// Result of a completed receive/probe, mirroring MPI_Status.
+struct Status {
+  int source = kAnySource;  ///< rank within the communicator.
+  int tag = kAnyTag;
+  int count = 0;            ///< elements received.
+  std::uint64_t msg_id = 0; ///< internal message identity (HB edges, tests).
+};
+
+/// Recoverable error codes (MPI-style return values).
+enum class Err : std::uint8_t {
+  kOk = 0,
+  kTruncate,   ///< message longer than the receive buffer.
+  kPending,    ///< operation not complete (MPI_Test false).
+};
+
+/// Fatal misuse (wrong communicator, mismatched collective, ...).
+struct UsageError : std::runtime_error {
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A blocking operation exceeded the configured timeout — the substrate's
+/// stand-in for an MPI deadlock (every blocked rank throws this).
+struct TimeoutError : std::runtime_error {
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Optional per-call metadata: the static-analysis callsite label that the
+/// instrumentation plan keys on (see src/sast/instr_plan.hpp).
+struct CallOpts {
+  const char* callsite = nullptr;
+};
+
+}  // namespace home::simmpi

@@ -1,0 +1,242 @@
+// The Universe launches N rank-threads (the "MPI processes") and owns the
+// shared infrastructure: mailboxes, communicator table, hook registry and the
+// optional trace sink.  Process is one rank's context; its pointer is carried
+// in a thread_local so OpenMP-style worker threads spawned by homp inherit
+// the rank of their parent (homp calls Universe::set_current on each worker).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/simmpi/comm.hpp"
+#include "src/simmpi/hooks.hpp"
+#include "src/simmpi/mailbox.hpp"
+#include "src/simmpi/request.hpp"
+#include "src/simmpi/types.hpp"
+#include "src/trace/thread_registry.hpp"
+#include "src/trace/trace_log.hpp"
+
+namespace home::simmpi {
+
+struct UniverseConfig {
+  int nranks = 2;
+  /// Highest thread level the "library build" grants (init_thread caps here).
+  ThreadLevel max_thread_level = ThreadLevel::kMultiple;
+  /// Synchronous sends: sender blocks until a receive consumes the message.
+  bool rendezvous_sends = false;
+  /// Blocking-call timeout standing in for deadlock detection (0 = forever).
+  int block_timeout_ms = 10000;
+  /// Emit kMsgSend/kMsgRecv events for cross-rank happens-before edges.
+  bool emit_message_edges = false;
+  /// Optional instrumentation sinks (normally installed by a home::Session).
+  trace::TraceLog* log = nullptr;
+  trace::ThreadRegistry* registry = nullptr;
+};
+
+struct RunResult {
+  std::vector<int> failed_ranks;
+  std::vector<std::string> errors;
+  bool ok() const { return failed_ranks.empty(); }
+};
+
+class Universe;
+
+/// One MPI "process" (a rank). All MPI operations are methods here; the
+/// flat functions in api.hpp forward to the calling thread's current Process.
+class Process {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  Universe& universe() { return *uni_; }
+
+  // --- lifecycle -----------------------------------------------------------
+  /// MPI_Init: defaults to MPI_THREAD_SINGLE, like the paper's Figure 1 bug.
+  void init(const CallOpts& opts = {});
+  /// MPI_Init_thread: returns the provided level (requested capped by config).
+  ThreadLevel init_thread(ThreadLevel requested, const CallOpts& opts = {});
+  void finalize(const CallOpts& opts = {});
+  bool initialized() const { return initialized_.load(); }
+  bool finalized() const { return finalized_.load(); }
+  ThreadLevel provided_level() const { return provided_; }
+  /// MPI_Is_thread_main for the calling thread.
+  bool is_thread_main() const;
+
+  // --- point to point ------------------------------------------------------
+  Err send(const void* buf, int count, Datatype dt, int dest, int tag, Comm comm,
+           const CallOpts& opts = {});
+  Err recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+           Status* status = nullptr, const CallOpts& opts = {});
+  Request isend(const void* buf, int count, Datatype dt, int dest, int tag,
+                Comm comm, const CallOpts& opts = {});
+  Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+                const CallOpts& opts = {});
+  Err wait(Request& request, Status* status = nullptr, const CallOpts& opts = {});
+  bool test(Request& request, Status* status = nullptr, const CallOpts& opts = {});
+  void probe(int src, int tag, Comm comm, Status* status, const CallOpts& opts = {});
+  bool iprobe(int src, int tag, Comm comm, Status* status, const CallOpts& opts = {});
+  Err sendrecv(const void* sendbuf, int sendcount, Datatype sdt, int dest, int sendtag,
+               void* recvbuf, int recvcount, Datatype rdt, int src, int recvtag,
+               Comm comm, Status* status = nullptr, const CallOpts& opts = {});
+  /// MPI_Ssend: synchronous mode — completes only once a matching receive
+  /// consumed the message, regardless of UniverseConfig::rendezvous_sends.
+  Err ssend(const void* buf, int count, Datatype dt, int dest, int tag, Comm comm,
+            const CallOpts& opts = {});
+
+  // --- multi-request completion ---------------------------------------------
+  /// MPI_Waitall. Statuses (if non-null) must have requests.size() slots.
+  Err waitall(std::vector<Request>& requests, Status* statuses = nullptr,
+              const CallOpts& opts = {});
+  /// MPI_Waitany: blocks until one request completes; returns its index.
+  int waitany(std::vector<Request>& requests, Status* status = nullptr,
+              const CallOpts& opts = {});
+  /// MPI_Testall: true iff every request is complete.
+  bool testall(std::vector<Request>& requests, const CallOpts& opts = {});
+
+  // --- persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start) ------
+  Request send_init(const void* buf, int count, Datatype dt, int dest, int tag,
+                    Comm comm, const CallOpts& opts = {});
+  Request recv_init(void* buf, int count, Datatype dt, int src, int tag,
+                    Comm comm, const CallOpts& opts = {});
+  /// MPI_Start: (re)activate a persistent request created by *_init.
+  void start(Request& request, const CallOpts& opts = {});
+
+  // --- collectives ---------------------------------------------------------
+  void barrier(Comm comm, const CallOpts& opts = {});
+  void bcast(void* buf, int count, Datatype dt, int root, Comm comm,
+             const CallOpts& opts = {});
+  void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+              ReduceOp op, int root, Comm comm, const CallOpts& opts = {});
+  void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+                 ReduceOp op, Comm comm, const CallOpts& opts = {});
+  void gather(const void* sendbuf, int sendcount, Datatype dt, void* recvbuf,
+              int root, Comm comm, const CallOpts& opts = {});
+  void allgather(const void* sendbuf, int sendcount, Datatype dt, void* recvbuf,
+                 Comm comm, const CallOpts& opts = {});
+  void scatter(const void* sendbuf, int sendcount, Datatype dt, void* recvbuf,
+               int root, Comm comm, const CallOpts& opts = {});
+  void alltoall(const void* sendbuf, int sendcount, Datatype dt, void* recvbuf,
+                Comm comm, const CallOpts& opts = {});
+  /// MPI_Gatherv: variable-size gather; recvcounts/displs (in elements) are
+  /// significant at the root only.
+  void gatherv(const void* sendbuf, int sendcount, Datatype dt, void* recvbuf,
+               const int* recvcounts, const int* displs, int root, Comm comm,
+               const CallOpts& opts = {});
+  /// MPI_Scatterv: variable-size scatter; sendcounts/displs (in elements) are
+  /// significant at the root only. recvcount is each receiver's capacity.
+  void scatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                Datatype dt, void* recvbuf, int recvcount, int root, Comm comm,
+                const CallOpts& opts = {});
+  /// MPI_Scan: inclusive prefix reduction over comm ranks.
+  void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+            ReduceOp op, Comm comm, const CallOpts& opts = {});
+  /// MPI_Reduce_scatter_block: reduce then scatter equal blocks.
+  void reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount,
+                            Datatype dt, ReduceOp op, Comm comm,
+                            const CallOpts& opts = {});
+
+  // --- communicator management (collective over the parent comm) -----------
+  Comm comm_dup(Comm comm, const CallOpts& opts = {});
+  Comm comm_split(Comm comm, int color, int key, const CallOpts& opts = {});
+  int comm_rank(Comm comm) const;
+  int comm_size(Comm comm) const;
+
+  // --- typed conveniences ---------------------------------------------------
+  template <typename T>
+  Err send_value(const T& value, int dest, int tag, Comm comm = kCommWorld) {
+    return send(&value, 1, datatype_of<T>(), dest, tag, comm);
+  }
+  template <typename T>
+  Err recv_value(T& value, int src, int tag, Comm comm = kCommWorld,
+                 Status* status = nullptr) {
+    return recv(&value, 1, datatype_of<T>(), src, tag, comm, status);
+  }
+
+  template <typename T>
+  static constexpr Datatype datatype_of() {
+    if constexpr (std::is_same_v<T, int>) return Datatype::kInt;
+    else if constexpr (std::is_same_v<T, long>) return Datatype::kLong;
+    else if constexpr (std::is_same_v<T, float>) return Datatype::kFloat;
+    else if constexpr (std::is_same_v<T, double>) return Datatype::kDouble;
+    else if constexpr (std::is_same_v<T, char>) return Datatype::kChar;
+    else return Datatype::kByte;
+  }
+
+  /// Main-thread tid of this rank (the thread that ran rank_main).
+  trace::Tid main_tid() const { return main_tid_; }
+
+ private:
+  friend class Universe;
+  Process(Universe* uni, int rank) : uni_(uni), rank_(rank) {}
+
+  /// Build a CallDesc and run `body` between hook begin/end notifications.
+  template <typename Body>
+  auto hooked(CallDesc desc, Body&& body);
+
+  CallDesc make_desc(trace::MpiCallType type, int peer, int tag, CommId comm,
+                     std::uint64_t request, const CallOpts& opts);
+
+  /// Resolve comm handle + translate my world rank into comm terms.
+  CommImpl& resolve(Comm comm, int* my_comm_rank) const;
+
+  Universe* uni_;
+  int rank_;
+  ThreadLevel provided_ = ThreadLevel::kSingle;
+  std::atomic<bool> initialized_{false};
+  std::atomic<bool> finalized_{false};
+  trace::Tid main_tid_ = trace::kNoTid;
+};
+
+class Universe {
+ public:
+  explicit Universe(UniverseConfig cfg);
+  ~Universe();
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// Launch cfg.nranks rank-threads running rank_main and join them.
+  /// Exceptions escaping a rank (including TimeoutError) are collected.
+  /// Single-shot: a Universe models one MPI job; a second run() throws.
+  RunResult run(const std::function<void(Process&)>& rank_main);
+
+  const UniverseConfig& config() const { return cfg_; }
+  int nranks() const { return cfg_.nranks; }
+
+  Mailbox& mailbox(int world_rank) { return *mailboxes_.at(static_cast<std::size_t>(world_rank)); }
+  CommTable& comms() { return comms_; }
+  HookRegistry& hooks() { return hooks_; }
+  trace::TraceLog* log() { return cfg_.log; }
+  trace::ThreadRegistry* registry() { return cfg_.registry; }
+
+  /// The calling thread's rank context (nullptr outside a run).
+  static Process* current();
+  /// Install the rank context on the calling thread (used by homp workers).
+  static void set_current(Process* process);
+
+ private:
+  UniverseConfig cfg_;
+  bool ran_ = false;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  CommTable comms_;
+  HookRegistry hooks_;
+};
+
+template <typename Body>
+auto Process::hooked(CallDesc desc, Body&& body) {
+  uni_->hooks().begin(desc);
+  if constexpr (std::is_void_v<decltype(body())>) {
+    body();
+    uni_->hooks().end(desc);
+  } else {
+    auto result = body();
+    uni_->hooks().end(desc);
+    return result;
+  }
+}
+
+}  // namespace home::simmpi

@@ -1,0 +1,291 @@
+#include "src/spec/matcher.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/simmpi/types.hpp"
+
+namespace home::spec {
+namespace {
+
+using detect::ConcurrencyReport;
+using detect::HbIndex;
+using trace::Event;
+using trace::MpiCallType;
+
+bool is_wildcard(int v) { return v < 0; }
+
+std::string label(const trace::StringTable* strings, const Event& call) {
+  if (!strings || !call.mpi || call.mpi->callsite == 0) return "";
+  return strings->lookup(call.mpi->callsite);
+}
+
+/// Everything the matcher aggregates per rank in one scan of the trace.
+struct RankFacts {
+  bool saw_init = false;
+  bool used_init_thread = false;
+  simmpi::ThreadLevel provided = simmpi::ThreadLevel::kSingle;
+  std::vector<std::size_t> call_events;      ///< indices of kMpiCall events.
+  std::vector<std::size_t> finalize_events;  ///< subset of call_events.
+  bool parallel_region = false;              ///< saw a team of size > 1.
+};
+
+}  // namespace
+
+bool args_overlap(int a, int b) { return a == b || is_wildcard(a) || is_wildcard(b); }
+
+std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
+  stats_ = MatcherStats{};
+  const HbIndex& hb = report.hb();
+  const auto& events = hb.events();
+
+  std::map<int, RankFacts> ranks;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.kind == trace::EventKind::kRegionBegin && e.rank >= 0 && e.aux > 1) {
+      ranks[e.rank].parallel_region = true;
+    }
+    if (e.kind != trace::EventKind::kMpiCall || !e.mpi) continue;
+    RankFacts& facts = ranks[e.rank];
+    switch (e.mpi->type) {
+      case MpiCallType::kInit:
+        facts.saw_init = true;
+        facts.provided = static_cast<simmpi::ThreadLevel>(e.mpi->provided);
+        break;
+      case MpiCallType::kInitThread:
+        facts.saw_init = true;
+        facts.used_init_thread = true;
+        facts.provided = static_cast<simmpi::ThreadLevel>(e.mpi->provided);
+        break;
+      case MpiCallType::kFinalize:
+        facts.finalize_events.push_back(i);
+        facts.call_events.push_back(i);
+        break;
+      default:
+        facts.call_events.push_back(i);
+        break;
+    }
+  }
+
+  std::vector<Violation> out;
+  std::set<std::string> seen;
+  auto add = [&](Violation v) {
+    const std::string key = violation_key(v);
+    if (seen.insert(key).second) {
+      out.push_back(std::move(v));
+      ++stats_.violations;
+    }
+  };
+
+  auto fill_pair = [&](Violation& v, const Event& c1, const Event& c2) {
+    v.rank = c1.rank;
+    v.tid1 = c1.tid;
+    v.tid2 = c2.tid;
+    v.call1 = c1.seq;
+    v.call2 = c2.seq;
+    v.callsite1 = label(strings_, c1);
+    v.callsite2 = label(strings_, c2);
+  };
+
+  // --- pair rules: V3 ConcurrentRecv, V4 ConcurrentRequest, V5 Probe,
+  // --- V6 CollectiveCall, driven by the monitored-variable verdicts. --------
+  for (const auto& [var, verdict] : report.verdicts()) {
+    if (!is_monitored_var(var) || !verdict.concurrent) continue;
+    const MonitoredVar kind = monitored_var_kind(var);
+    // srctmp carries the receive/probe rules; requesttmp carries V4;
+    // collectivetmp carries V6. tagtmp/commtmp/finalizetmp pairs would
+    // duplicate reports for the same call pairs and are skipped here.
+    if (kind != MonitoredVar::kSrcTmp && kind != MonitoredVar::kRequestTmp &&
+        kind != MonitoredVar::kCollectiveTmp) {
+      continue;
+    }
+    for (const detect::ConcurrentPair& pair : verdict.pairs) {
+      ++stats_.concurrent_pairs;
+      // aux of a monitored-variable write is the seq of its kMpiCall event.
+      const std::size_t i1 = hb.index_of_seq(events[pair.first].aux);
+      const std::size_t i2 = hb.index_of_seq(events[pair.second].aux);
+      if (i1 == HbIndex::npos || i2 == HbIndex::npos) continue;
+      const Event& c1 = events[i1];
+      const Event& c2 = events[i2];
+      if (!c1.mpi || !c2.mpi || c1.tid == c2.tid) continue;
+      ++stats_.call_pairs;
+      const trace::MpiCallInfo& m1 = *c1.mpi;
+      const trace::MpiCallInfo& m2 = *c2.mpi;
+
+      if (kind == MonitoredVar::kSrcTmp) {
+        // V3: both receives, same (source, tag, comm).
+        if (trace::is_receive(m1.type) && trace::is_receive(m2.type) &&
+            m1.comm == m2.comm && args_overlap(m1.peer, m2.peer) &&
+            args_overlap(m1.tag, m2.tag)) {
+          Violation v;
+          v.type = ViolationType::kConcurrentRecv;
+          fill_pair(v, c1, c2);
+          std::ostringstream os;
+          os << "two threads receive with source=" << m1.peer
+             << " tag=" << m1.tag << " comm=" << m1.comm
+             << "; message-to-thread matching is undefined";
+          v.detail = os.str();
+          add(std::move(v));
+        }
+        // V5: a probe concurrent with a probe or receive, same (source, tag)
+        // on the same communicator.
+        const bool p1 = trace::is_probe(m1.type);
+        const bool p2 = trace::is_probe(m2.type);
+        if ((p1 || p2) && (p1 ? (p2 || trace::is_receive(m2.type))
+                              : trace::is_receive(m1.type)) &&
+            m1.comm == m2.comm && args_overlap(m1.peer, m2.peer) &&
+            args_overlap(m1.tag, m2.tag)) {
+          Violation v;
+          v.type = ViolationType::kProbe;
+          fill_pair(v, c1, c2);
+          std::ostringstream os;
+          os << trace::mpi_call_type_name(m1.type) << " and "
+             << trace::mpi_call_type_name(m2.type)
+             << " race on source=" << m1.peer << " tag=" << m1.tag
+             << " comm=" << m1.comm;
+          v.detail = os.str();
+          add(std::move(v));
+        }
+      } else if (kind == MonitoredVar::kRequestTmp) {
+        // V4: both Wait/Test on the same request object.
+        if (trace::is_request_completion(m1.type) &&
+            trace::is_request_completion(m2.type) && m1.request == m2.request &&
+            m1.request != 0) {
+          Violation v;
+          v.type = ViolationType::kConcurrentRequest;
+          fill_pair(v, c1, c2);
+          std::ostringstream os;
+          os << trace::mpi_call_type_name(m1.type) << " and "
+             << trace::mpi_call_type_name(m2.type)
+             << " complete the same request " << m1.request;
+          v.detail = os.str();
+          add(std::move(v));
+        }
+      } else if (kind == MonitoredVar::kCollectiveTmp) {
+        // V6: two concurrent collectives on the same communicator.
+        if (trace::is_collective(m1.type) && trace::is_collective(m2.type) &&
+            m1.comm == m2.comm) {
+          Violation v;
+          v.type = ViolationType::kCollectiveCall;
+          fill_pair(v, c1, c2);
+          std::ostringstream os;
+          os << trace::mpi_call_type_name(m1.type) << " and "
+             << trace::mpi_call_type_name(m2.type)
+             << " concurrently use comm " << m1.comm;
+          v.detail = os.str();
+          add(std::move(v));
+        }
+      }
+    }
+  }
+
+  // --- V1 Initialization, per rank ------------------------------------------
+  for (auto& [rank, facts] : ranks) {
+    if (!facts.saw_init) continue;
+    switch (facts.provided) {
+      case simmpi::ThreadLevel::kSingle:
+        if (facts.parallel_region) {
+          Violation v;
+          v.type = ViolationType::kInitialization;
+          v.rank = rank;
+          std::ostringstream os;
+          os << "provided level is MPI_THREAD_SINGLE"
+             << (facts.used_init_thread ? "" : " (plain MPI_Init)")
+             << " but the rank opens an OpenMP parallel region";
+          v.detail = os.str();
+          add(std::move(v));
+        }
+        break;
+      case simmpi::ThreadLevel::kFunneled:
+        for (std::size_t i : facts.call_events) {
+          const Event& c = events[i];
+          if (c.mpi && !c.mpi->on_main_thread) {
+            Violation v;
+            v.type = ViolationType::kInitialization;
+            v.rank = rank;
+            v.tid1 = c.tid;
+            v.call1 = c.seq;
+            v.callsite1 = label(strings_, c);
+            v.detail = std::string(trace::mpi_call_type_name(c.mpi->type)) +
+                       " issued off the main thread under MPI_THREAD_FUNNELED";
+            add(std::move(v));
+          }
+        }
+        break;
+      case simmpi::ThreadLevel::kSerialized: {
+        // Any concurrent monitored variable of this rank means two MPI calls
+        // can overlap, which SERIALIZED forbids.
+        for (int k = 0; k < kMonitoredVarCount; ++k) {
+          const trace::ObjId var =
+              monitored_var_id(rank, static_cast<MonitoredVar>(k));
+          const detect::VariableVerdict* verdict = report.verdict(var);
+          if (verdict && verdict->concurrent && !verdict->pairs.empty()) {
+            const detect::ConcurrentPair& pair = verdict->pairs.front();
+            Violation v;
+            v.type = ViolationType::kInitialization;
+            v.rank = rank;
+            v.tid1 = pair.tid1;
+            v.tid2 = pair.tid2;
+            v.detail = std::string("concurrent MPI calls (") +
+                       monitored_var_name(static_cast<MonitoredVar>(k)) +
+                       ") under MPI_THREAD_SERIALIZED";
+            add(std::move(v));
+            break;  // one report per rank is enough for V1/SERIALIZED.
+          }
+        }
+        break;
+      }
+      case simmpi::ThreadLevel::kMultiple:
+        break;
+    }
+  }
+
+  // --- V2 Finalization, per rank --------------------------------------------
+  for (auto& [rank, facts] : ranks) {
+    for (std::size_t fi : facts.finalize_events) {
+      const Event& fin = events[fi];
+      if (fin.mpi && !fin.mpi->on_main_thread) {
+        Violation v;
+        v.type = ViolationType::kFinalization;
+        v.rank = rank;
+        v.tid1 = fin.tid;
+        v.call1 = fin.seq;
+        v.callsite1 = label(strings_, fin);
+        v.detail = "MPI_Finalize called off the main thread";
+        add(std::move(v));
+      }
+      for (std::size_t ci : facts.call_events) {
+        if (ci == fi) continue;
+        const Event& call = events[ci];
+        if (!call.mpi || call.mpi->type == MpiCallType::kFinalize) continue;
+        if (call.tid == fin.tid) {
+          // Program order: a call after finalize on the same thread.
+          if (call.seq > fin.seq) {
+            Violation v;
+            v.type = ViolationType::kFinalization;
+            fill_pair(v, fin, call);
+            v.detail = std::string(trace::mpi_call_type_name(call.mpi->type)) +
+                       " issued after MPI_Finalize";
+            add(std::move(v));
+          }
+          continue;
+        }
+        // Cross-thread: a call concurrent with or after finalize means the
+        // rank finalized with communication pending on another thread.
+        if (hb.concurrent(fi, ci) || hb.ordered(fi, ci)) {
+          Violation v;
+          v.type = ViolationType::kFinalization;
+          fill_pair(v, fin, call);
+          v.detail = std::string(trace::mpi_call_type_name(call.mpi->type)) +
+                     " on another thread is not ordered before MPI_Finalize";
+          add(std::move(v));
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace home::spec

@@ -1,0 +1,41 @@
+// Violation matcher: merges the concurrency report on monitored variables
+// with the logged MPI call arguments and evaluates the six thread-safety
+// predicates of Section III.A.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/detect/race_detector.hpp"
+#include "src/spec/monitored.hpp"
+#include "src/spec/violations.hpp"
+#include "src/trace/trace_log.hpp"
+
+namespace home::spec {
+
+struct MatcherStats {
+  std::size_t concurrent_pairs = 0;   ///< monitored-var pairs examined.
+  std::size_t call_pairs = 0;         ///< resolved MPI call pairs.
+  std::size_t violations = 0;         ///< after deduplication.
+};
+
+class Matcher {
+ public:
+  /// `strings` resolves callsite labels for the report (may be null).
+  explicit Matcher(const trace::StringTable* strings = nullptr)
+      : strings_(strings) {}
+
+  std::vector<Violation> match(const detect::ConcurrencyReport& report) const;
+
+  const MatcherStats& stats() const { return stats_; }
+
+ private:
+  const trace::StringTable* strings_;
+  mutable MatcherStats stats_;
+};
+
+/// Wildcard-aware argument overlap: MPI_ANY_SOURCE / MPI_ANY_TAG match
+/// anything, so two receives with (ANY, 5) and (3, 5) *can* contend.
+bool args_overlap(int a, int b);
+
+}  // namespace home::spec

@@ -1,0 +1,35 @@
+// Message-race analysis — the MPI-level nondeterminism the paper's
+// introduction describes (Netzer et al. [14]): a wildcard-source receive for
+// which two or more concurrent sends from different ranks are simultaneously
+// in transit matches nondeterministically.
+//
+// Most message races are benign; the analysis reports them as informational
+// findings separate from the six thread-safety violations.  Source ranks are
+// matched precisely on MPI_COMM_WORLD (where comm rank == world rank) and
+// conservatively on derived communicators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/detect/race_detector.hpp"
+#include "src/trace/trace_log.hpp"
+
+namespace home::spec {
+
+struct MessageRace {
+  trace::Seq recv_call = 0;        ///< seq of the wildcard receive call event.
+  int rank = -1;                   ///< receiving rank.
+  std::string recv_site;           ///< callsite label (may be empty).
+  std::vector<int> sender_ranks;   ///< >= 2 concurrent candidate senders.
+  int tag = -1;                    ///< the receive's tag (-1 = MPI_ANY_TAG).
+
+  std::string to_string() const;
+};
+
+/// Scan a concurrency report's event stream for message races.
+std::vector<MessageRace> find_message_races(
+    const detect::ConcurrencyReport& report,
+    const trace::StringTable* strings = nullptr);
+
+}  // namespace home::spec

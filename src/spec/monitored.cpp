@@ -1,0 +1,53 @@
+#include "src/spec/monitored.hpp"
+
+namespace home::spec {
+
+const char* monitored_var_name(MonitoredVar var) {
+  switch (var) {
+    case MonitoredVar::kSrcTmp: return "srctmp";
+    case MonitoredVar::kTagTmp: return "tagtmp";
+    case MonitoredVar::kCommTmp: return "commtmp";
+    case MonitoredVar::kRequestTmp: return "requesttmp";
+    case MonitoredVar::kCollectiveTmp: return "collectivetmp";
+    case MonitoredVar::kFinalizeTmp: return "finalizetmp";
+  }
+  return "?";
+}
+
+std::vector<MonitoredVar> monitored_vars_for(trace::MpiCallType type) {
+  using trace::MpiCallType;
+  switch (type) {
+    case MpiCallType::kSend:
+    case MpiCallType::kRecv:
+    case MpiCallType::kSendrecv:
+    case MpiCallType::kProbe:
+    case MpiCallType::kIprobe:
+      return {MonitoredVar::kSrcTmp, MonitoredVar::kTagTmp, MonitoredVar::kCommTmp};
+    case MpiCallType::kIsend:
+    case MpiCallType::kIrecv:
+      return {MonitoredVar::kSrcTmp, MonitoredVar::kTagTmp, MonitoredVar::kCommTmp,
+              MonitoredVar::kRequestTmp};
+    case MpiCallType::kWait:
+    case MpiCallType::kTest:
+      return {MonitoredVar::kRequestTmp};
+    case MpiCallType::kBarrier:
+    case MpiCallType::kBcast:
+    case MpiCallType::kReduce:
+    case MpiCallType::kAllreduce:
+    case MpiCallType::kGather:
+    case MpiCallType::kScatter:
+    case MpiCallType::kAlltoall:
+    case MpiCallType::kScan:
+    case MpiCallType::kReduceScatter:
+      return {MonitoredVar::kCollectiveTmp, MonitoredVar::kCommTmp};
+    case MpiCallType::kFinalize:
+      return {MonitoredVar::kFinalizeTmp};
+    case MpiCallType::kInit:
+    case MpiCallType::kInitThread:
+    case MpiCallType::kOther:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace home::spec

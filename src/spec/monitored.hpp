@@ -1,0 +1,56 @@
+// Monitored variables — the paper's central device.
+//
+// HOME does not trace application memory.  Instead every instrumented MPI
+// call WRITEs a handful of per-rank variables (srctmp, tagtmp, commtmp,
+// requesttmp, collectivetmp, finalizetmp); the dynamic race analysis runs on
+// *those*, and a concurrency verdict on a monitored variable means "two MPI
+// calls of this class can execute concurrently in this rank".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/trace/event.hpp"
+
+namespace home::spec {
+
+enum class MonitoredVar : std::uint8_t {
+  kSrcTmp = 0,
+  kTagTmp = 1,
+  kCommTmp = 2,
+  kRequestTmp = 3,
+  kCollectiveTmp = 4,
+  kFinalizeTmp = 5,
+};
+
+inline constexpr int kMonitoredVarCount = 6;
+
+const char* monitored_var_name(MonitoredVar var);
+
+/// Monitored-variable ObjIds live in a reserved range so they can never
+/// collide with lock ids or traced application addresses.
+inline constexpr trace::ObjId kMonitoredBase = 0x4D00000000ULL;
+
+constexpr trace::ObjId monitored_var_id(int rank, MonitoredVar var) {
+  return kMonitoredBase +
+         static_cast<trace::ObjId>(rank) * 16 + static_cast<trace::ObjId>(var);
+}
+
+constexpr bool is_monitored_var(trace::ObjId id) {
+  return id >= kMonitoredBase;
+}
+
+constexpr int monitored_var_rank(trace::ObjId id) {
+  return static_cast<int>((id - kMonitoredBase) / 16);
+}
+
+constexpr MonitoredVar monitored_var_kind(trace::ObjId id) {
+  return static_cast<MonitoredVar>((id - kMonitoredBase) % 16);
+}
+
+/// Which monitored variables an MPI call of the given type WRITEs
+/// (the wrapper bodies of Section IV.B).
+std::vector<MonitoredVar> monitored_vars_for(trace::MpiCallType type);
+
+}  // namespace home::spec

@@ -1,0 +1,61 @@
+#include "src/spec/violations.hpp"
+
+#include <sstream>
+
+namespace home::spec {
+
+const char* violation_type_name(ViolationType type) {
+  switch (type) {
+    case ViolationType::kInitialization: return "InitializationViolation";
+    case ViolationType::kFinalization: return "FinalizationViolation";
+    case ViolationType::kConcurrentRecv: return "ConcurrentRecvViolation";
+    case ViolationType::kConcurrentRequest: return "ConcurrentRequestViolation";
+    case ViolationType::kProbe: return "ProbeViolation";
+    case ViolationType::kCollectiveCall: return "CollectiveCallViolation";
+  }
+  return "?";
+}
+
+const char* violation_predicate_name(ViolationType type) {
+  switch (type) {
+    case ViolationType::kInitialization: return "isInitializationViolation";
+    case ViolationType::kFinalization: return "isMPIFinalizationVoilation";
+    case ViolationType::kConcurrentRecv: return "isConcurrentRecvVoilation";
+    case ViolationType::kConcurrentRequest: return "isConcurrentRequestViolation";
+    case ViolationType::kProbe: return "isProbeViolation";
+    case ViolationType::kCollectiveCall: return "isCollectiveCallViolation";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << violation_type_name(type) << " @ rank " << rank;
+  if (tid1 != trace::kNoTid) os << " threads(" << tid1 << "," << tid2 << ")";
+  if (!callsite1.empty() || !callsite2.empty()) {
+    os << " sites(" << (callsite1.empty() ? "?" : callsite1) << ", "
+       << (callsite2.empty() ? "?" : callsite2) << ")";
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::string violation_key(const Violation& v) {
+  std::ostringstream os;
+  // Callsites give stable identity across interleavings; fall back to call
+  // seqs only when the program has no callsite labels at all.
+  os << static_cast<int>(v.type) << "|" << v.rank << "|";
+  if (v.callsite1.empty() && v.callsite2.empty()) {
+    os << v.call1 << "|" << v.call2;
+  } else {
+    // Order-normalize the pair.
+    if (v.callsite1 <= v.callsite2) {
+      os << v.callsite1 << "|" << v.callsite2;
+    } else {
+      os << v.callsite2 << "|" << v.callsite1;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace home::spec

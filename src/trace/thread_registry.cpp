@@ -1,0 +1,85 @@
+#include "src/trace/thread_registry.hpp"
+
+#include <atomic>
+
+namespace home::trace {
+namespace {
+
+// Cached registration for the calling thread.  The epoch guards against
+// stale tids surviving a ThreadRegistry::reset() (tests run many sessions on
+// the same OS threads).
+struct LocalSlot {
+  const ThreadRegistry* registry = nullptr;
+  std::uint64_t epoch = 0;
+  Tid tid = kNoTid;
+};
+
+thread_local LocalSlot tls_slot;
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+std::uint64_t current_epoch() { return g_epoch.load(std::memory_order_acquire); }
+
+}  // namespace
+
+Tid ThreadRegistry::register_current_thread(Tid parent, int rank, bool is_rank_main) {
+  const Tid tid = register_thread(parent, rank, is_rank_main);
+  bind_current_thread(tid);
+  return tid;
+}
+
+Tid ThreadRegistry::register_thread(Tid parent, int rank, bool is_rank_main) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Tid tid = static_cast<Tid>(threads_.size());
+  threads_.push_back(ThreadInfo{tid, parent, rank, is_rank_main});
+  return tid;
+}
+
+void ThreadRegistry::bind_current_thread(Tid tid) {
+  tls_slot = LocalSlot{this, current_epoch(), tid};
+}
+
+Tid ThreadRegistry::current_tid() const {
+  if (tls_slot.registry == this && tls_slot.epoch == current_epoch()) {
+    return tls_slot.tid;
+  }
+  return kNoTid;
+}
+
+int ThreadRegistry::current_rank() const {
+  const Tid tid = current_tid();
+  if (tid == kNoTid) return kNoRank;
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_[static_cast<std::size_t>(tid)].rank;
+}
+
+bool ThreadRegistry::current_is_rank_main() const {
+  const Tid tid = current_tid();
+  if (tid == kNoTid) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_[static_cast<std::size_t>(tid)].is_rank_main;
+}
+
+ThreadInfo ThreadRegistry::info(Tid tid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tid < 0 || static_cast<std::size_t>(tid) >= threads_.size()) return ThreadInfo{};
+  return threads_[static_cast<std::size_t>(tid)];
+}
+
+int ThreadRegistry::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.clear();
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ThreadRegistry& ThreadRegistry::global() {
+  static ThreadRegistry registry;
+  return registry;
+}
+
+}  // namespace home::trace

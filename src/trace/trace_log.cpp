@@ -1,0 +1,65 @@
+#include "src/trace/trace_log.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace home::trace {
+
+std::uint32_t StringTable::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    if (strings_[i] == s) return static_cast<std::uint32_t>(i);
+  }
+  strings_.push_back(s);
+  return static_cast<std::uint32_t>(strings_.size() - 1);
+}
+
+const std::string& StringTable::lookup(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= strings_.size()) throw std::out_of_range("StringTable::lookup");
+  return strings_[id];
+}
+
+std::size_t StringTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+Seq TraceLog::emit(Event e) {
+  const Seq seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  e.seq = seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+  return seq;
+}
+
+std::vector<Event> TraceLog::sorted_events() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  seq_.store(1, std::memory_order_relaxed);
+}
+
+std::string TraceLog::dump() const {
+  std::ostringstream os;
+  for (const Event& e : sorted_events()) os << event_to_string(e) << "\n";
+  return os.str();
+}
+
+}  // namespace home::trace

@@ -1,0 +1,66 @@
+// Trace sink: collects the event stream emitted by the substrates.
+//
+// HOME's selective instrumentation keeps the event volume small (a handful of
+// events per wrapped MPI call), so a single locked append is cheap; the
+// ITC-style baseline deliberately streams *all* memory accesses through its
+// own online detector instead of this log (see src/baselines/itc.hpp).
+//
+// Events carry a global sequence stamp drawn from an atomic counter, which
+// yields a total observation order consistent with each thread's program
+// order — the replay order used by the offline detectors.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.hpp"
+
+namespace home::trace {
+
+/// Interns callsite labels so MpiCallInfo stays flat.
+class StringTable {
+ public:
+  std::uint32_t intern(const std::string& s);
+  const std::string& lookup(std::uint32_t id) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> strings_{""};  // id 0 = empty label.
+};
+
+class TraceLog {
+ public:
+  TraceLog() = default;
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Stamp e.seq and append. Thread-safe. Returns the assigned seq.
+  Seq emit(Event e);
+
+  /// Next sequence stamp without recording an event (for interval markers).
+  Seq next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Snapshot of all events sorted by seq (stable order for replay).
+  std::vector<Event> sorted_events() const;
+
+  std::size_t size() const;
+  void clear();
+
+  StringTable& strings() { return strings_; }
+  const StringTable& strings() const { return strings_; }
+
+  /// Human-readable dump (debugging aid, used by example binaries).
+  std::string dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::atomic<Seq> seq_{1};
+  StringTable strings_;
+};
+
+}  // namespace home::trace

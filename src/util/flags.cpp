@@ -1,0 +1,69 @@
+#include "src/util/flags.hpp"
+
+#include <cstdlib>
+
+namespace home::util {
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (starts_with(arg, "no-")) {
+      flags.values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag, else boolean.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int Flags::get_int(const std::string& name, int def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+void Flags::set(const std::string& name, const std::string& value) {
+  values_[name] = value;
+}
+
+}  // namespace home::util

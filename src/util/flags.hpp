@@ -1,0 +1,36 @@
+// Tiny command-line flag parser used by the examples and bench drivers.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace home::util {
+
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parse argv; unknown positional arguments are collected in positional().
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// For tests: set a flag programmatically.
+  void set(const std::string& name, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace home::util

@@ -1,0 +1,53 @@
+// Minimal leveled, thread-safe logger for the HOME toolchain.
+//
+// Every subsystem logs through this sink so that interleaved output from
+// rank-threads and OpenMP-style worker threads stays line-atomic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace home::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are dropped cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe, atomic w.r.t. other log lines).
+void log_line(LogLevel level, const std::string& msg);
+
+/// Stream-style helper: LogStream(kInfo) << "x=" << x;  flushes on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+#define HOME_LOG(level) ::home::util::LogStream(level)
+#define HOME_INFO() HOME_LOG(::home::util::LogLevel::kInfo)
+#define HOME_WARN() HOME_LOG(::home::util::LogLevel::kWarn)
+#define HOME_ERROR() HOME_LOG(::home::util::LogLevel::kError)
+#define HOME_DEBUG() HOME_LOG(::home::util::LogLevel::kDebug)
+
+}  // namespace home::util

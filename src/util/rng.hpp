@@ -1,0 +1,57 @@
+// Deterministic, seedable RNG (splitmix64 + xoshiro256**) so every run of an
+// app / injector / schedule fuzzer is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace home::util {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B9ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double next_double() {  // uniform in [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace home::util

@@ -1,0 +1,18 @@
+// String helpers used across the static-analysis front end and report layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace home::util {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string trim(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+bool contains(const std::string& s, const std::string& needle);
+std::string to_lower(std::string s);
+std::string replace_all(std::string s, const std::string& from, const std::string& to);
+
+}  // namespace home::util

@@ -1,0 +1,177 @@
+// Tests of the wait-for-graph deadlock detection: the pure algorithm plus
+// online diagnosis of real hangs in the substrate.
+#include <gtest/gtest.h>
+
+#include "src/detect/deadlock.hpp"
+#include "src/home/deadlock_monitor.hpp"
+#include "src/simmpi/universe.hpp"
+
+namespace home {
+namespace {
+
+using detect::WaitForGraph;
+using namespace simmpi;
+
+// ------------------------------------------------------------ WaitForGraph
+
+TEST(WaitForGraph, EmptyHasNoCycle) {
+  WaitForGraph graph;
+  EXPECT_TRUE(graph.empty());
+  EXPECT_FALSE(graph.has_cycle());
+}
+
+TEST(WaitForGraph, ChainHasNoCycle) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  graph.add_wait(1, 2);
+  graph.add_wait(2, 3);
+  EXPECT_FALSE(graph.has_cycle());
+}
+
+TEST(WaitForGraph, TwoCycleDetected) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  graph.add_wait(1, 0);
+  auto cycles = graph.find_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{0, 1}));
+}
+
+TEST(WaitForGraph, SelfLoopDetected) {
+  WaitForGraph graph;
+  graph.add_wait(3, 3);
+  auto cycles = graph.find_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{3}));
+}
+
+TEST(WaitForGraph, LongCycleDetected) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  graph.add_wait(1, 2);
+  graph.add_wait(2, 3);
+  graph.add_wait(3, 0);
+  auto cycles = graph.find_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WaitForGraph, TwoIndependentCycles) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  graph.add_wait(1, 0);
+  graph.add_wait(5, 6);
+  graph.add_wait(6, 5);
+  graph.add_wait(2, 0);  // a waiter outside any cycle.
+  auto cycles = graph.find_cycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(cycles[1], (std::vector<int>{5, 6}));
+}
+
+TEST(WaitForGraph, ClearWaiterBreaksCycle) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  graph.add_wait(1, 0);
+  graph.clear_waiter(1);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_EQ(graph.waitees_of(0), (std::set<int>{1}));
+  EXPECT_TRUE(graph.waitees_of(1).empty());
+}
+
+TEST(WaitForGraph, DumpsEdges) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1);
+  EXPECT_NE(graph.to_string().find("0 -> 1"), std::string::npos);
+}
+
+// -------------------------------------------------------- DeadlockMonitor
+
+UniverseConfig short_timeout(int nranks) {
+  UniverseConfig cfg;
+  cfg.nranks = nranks;
+  cfg.block_timeout_ms = 100;
+  return cfg;
+}
+
+TEST(DeadlockMonitor, DiagnosesMutualRecvDeadlock) {
+  // Classic head-to-head: both ranks recv before sending.
+  DeadlockMonitor monitor(2);
+  Universe uni(short_timeout(2));
+  uni.hooks().add(&monitor);
+  auto result = uni.run([&](Process& p) {
+    int v = 0;
+    const int peer = 1 - p.rank();
+    p.recv(&v, 1, Datatype::kInt, peer, 0, kCommWorld);  // never satisfied.
+    p.send(&v, 1, Datatype::kInt, peer, 0, kCommWorld);
+  });
+  EXPECT_FALSE(result.ok());
+  auto cycles = monitor.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<int>{0, 1}));
+  EXPECT_NE(monitor.diagnose().find("rank 0"), std::string::npos);
+}
+
+TEST(DeadlockMonitor, DiagnosesRendezvousSendCycle) {
+  UniverseConfig cfg = short_timeout(2);
+  cfg.rendezvous_sends = true;
+  DeadlockMonitor monitor(2);
+  Universe uni(cfg);
+  uni.hooks().add(&monitor);
+  auto result = uni.run([&](Process& p) {
+    // Both ranks ssend first: rendezvous head-to-head.
+    int v = p.rank();
+    const int peer = 1 - p.rank();
+    p.send(&v, 1, Datatype::kInt, peer, 0, kCommWorld);
+    p.recv(&v, 1, Datatype::kInt, peer, 0, kCommWorld);
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(monitor.cycles().empty());
+}
+
+TEST(DeadlockMonitor, CleanExchangeLeavesNoCycle) {
+  DeadlockMonitor monitor(2);
+  Universe uni(short_timeout(2));
+  uni.hooks().add(&monitor);
+  auto result = uni.run([&](Process& p) {
+    int v = p.rank();
+    const int peer = 1 - p.rank();
+    p.send(&v, 1, Datatype::kInt, peer, 0, kCommWorld);
+    p.recv(&v, 1, Datatype::kInt, peer, 0, kCommWorld);
+    p.barrier(kCommWorld);
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(monitor.cycles().empty());
+  EXPECT_EQ(monitor.diagnose(), "no wait cycle observed");
+}
+
+TEST(DeadlockMonitor, MissingCollectiveParticipantDiagnosed) {
+  DeadlockMonitor monitor(3);
+  Universe uni(short_timeout(3));
+  uni.hooks().add(&monitor);
+  auto result = uni.run([&](Process& p) {
+    if (p.rank() == 2) return;  // rank 2 never joins the barrier.
+    p.barrier(kCommWorld);
+  });
+  EXPECT_FALSE(result.ok());
+  // Ranks 0 and 1 wait on everyone, including each other: a cycle exists.
+  EXPECT_FALSE(monitor.cycles().empty());
+}
+
+TEST(DeadlockMonitor, WildcardRecvWaitsOnEveryone) {
+  DeadlockMonitor monitor(3);
+  Universe uni(short_timeout(3));
+  uni.hooks().add(&monitor);
+  auto result = uni.run([&](Process& p) {
+    if (p.rank() == 0) {
+      int v;
+      p.recv(&v, 1, Datatype::kInt, kAnySource, kAnyTag, kCommWorld);
+    }
+  });
+  EXPECT_FALSE(result.ok());  // rank 0 times out.
+  // Not a cycle (1-directional wait), but the graph recorded the fan-out.
+  EXPECT_TRUE(monitor.cycles().empty());
+}
+
+}  // namespace
+}  // namespace home

@@ -1,0 +1,133 @@
+// Tests of the Figure-3 "Final Reports" merge: static warnings x dynamic
+// violations, including a full static->dynamic pipeline round trip.
+#include <gtest/gtest.h>
+
+#include "src/home/check.hpp"
+#include "src/home/final_report.hpp"
+#include "src/homp/runtime.hpp"
+#include "src/sast/diagnostics.hpp"
+
+namespace home {
+namespace {
+
+using sast::StaticWarning;
+using sast::WarningClass;
+using spec::Violation;
+using spec::ViolationType;
+
+Report dynamic_report(std::vector<Violation> violations) {
+  return Report(std::move(violations), ReportStats{});
+}
+
+TEST(FinalReport, EmptyInputsAreClean) {
+  FinalReport merged = merge_reports({}, dynamic_report({}));
+  EXPECT_TRUE(merged.clean());
+  EXPECT_NE(merged.to_string().find("no thread-safety issues"),
+            std::string::npos);
+}
+
+TEST(FinalReport, StaticOnlyEntrySurvives) {
+  StaticWarning w;
+  w.cls = WarningClass::kConcurrentRecv;
+  w.site = "main:10:MPI_Recv";
+  w.message = "shared tag";
+  FinalReport merged = merge_reports({w}, dynamic_report({}));
+  ASSERT_EQ(merged.entries().size(), 1u);
+  EXPECT_EQ(merged.entries()[0].confirmation, Confirmation::kStaticOnly);
+  EXPECT_EQ(merged.count(Confirmation::kStaticOnly), 1u);
+}
+
+TEST(FinalReport, DynamicOnlyEntrySurvives) {
+  Violation v;
+  v.type = ViolationType::kCollectiveCall;
+  v.callsite1 = "x.barrier";
+  FinalReport merged = merge_reports({}, dynamic_report({v}));
+  ASSERT_EQ(merged.entries().size(), 1u);
+  EXPECT_EQ(merged.entries()[0].confirmation, Confirmation::kDynamicOnly);
+}
+
+TEST(FinalReport, MatchingClassUpgradesToConfirmed) {
+  StaticWarning w;
+  w.cls = WarningClass::kConcurrentRecv;
+  w.site = "main:10:MPI_Recv";
+  Violation v;
+  v.type = ViolationType::kConcurrentRecv;
+  v.callsite1 = "main:10:MPI_Recv";
+  v.callsite2 = "main:14:MPI_Recv";
+  FinalReport merged = merge_reports({w}, dynamic_report({v}));
+  ASSERT_EQ(merged.entries().size(), 1u);
+  EXPECT_EQ(merged.entries()[0].confirmation, Confirmation::kBoth);
+  EXPECT_EQ(merged.count(Confirmation::kBoth), 1u);
+  const std::string text = merged.to_string();
+  EXPECT_NE(text.find("confirmed"), std::string::npos);
+}
+
+TEST(FinalReport, ClassesStaySeparate) {
+  StaticWarning w;
+  w.cls = WarningClass::kProbe;
+  w.site = "a";
+  Violation v;
+  v.type = ViolationType::kFinalization;
+  v.callsite1 = "b";
+  FinalReport merged = merge_reports({w}, dynamic_report({v}));
+  EXPECT_EQ(merged.entries().size(), 2u);
+  EXPECT_EQ(merged.count(Confirmation::kBoth), 0u);
+}
+
+TEST(FinalReport, EndToEndPipelineConfirmsFigure2) {
+  // Static phase on the Figure 2 source...
+  const auto warnings = sast::diagnose_source(R"(
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  int tag = 0;
+  #pragma omp parallel for
+  for (j = 0; j < 2; j++) {
+    if (rank == 0) {
+      MPI_Send(&a, 1, MPI_INT, 1, tag, MPI_COMM_WORLD);
+      MPI_Recv(&a, 1, MPI_INT, 1, tag, MPI_COMM_WORLD, st);
+    }
+    if (rank == 1) {
+      MPI_Recv(&a, 1, MPI_INT, 0, tag, MPI_COMM_WORLD, st);
+      MPI_Send(&a, 1, MPI_INT, 0, tag, MPI_COMM_WORLD);
+    }
+  }
+}
+)");
+
+  // ...dynamic phase on the executable equivalent...
+  CheckConfig cfg;
+  cfg.nranks = 2;
+  auto dynamic = check_program(cfg, [](simmpi::Process& p) {
+    p.init_thread(simmpi::ThreadLevel::kMultiple);
+    homp::parallel(2, [&] {
+      int a = homp::thread_num();
+      if (p.rank() == 0) {
+        p.send(&a, 1, simmpi::Datatype::kInt, 1, 0, simmpi::kCommWorld,
+               {"main:9:MPI_Send"});
+        p.recv(&a, 1, simmpi::Datatype::kInt, 1, 0, simmpi::kCommWorld, nullptr,
+               {"main:10:MPI_Recv"});
+      } else {
+        p.recv(&a, 1, simmpi::Datatype::kInt, 0, 0, simmpi::kCommWorld, nullptr,
+               {"main:13:MPI_Recv"});
+        p.send(&a, 1, simmpi::Datatype::kInt, 0, 0, simmpi::kCommWorld,
+               {"main:14:MPI_Send"});
+      }
+    });
+    p.finalize();
+  });
+
+  // ...merged: the ConcurrentRecv class must come out "confirmed".
+  FinalReport merged = merge_reports(warnings, dynamic.report);
+  bool confirmed_recv = false;
+  for (const auto& entry : merged.entries()) {
+    if (entry.type == ViolationType::kConcurrentRecv &&
+        entry.confirmation == Confirmation::kBoth) {
+      confirmed_recv = true;
+    }
+  }
+  EXPECT_TRUE(confirmed_recv) << merged.to_string();
+}
+
+}  // namespace
+}  // namespace home

@@ -1,0 +1,351 @@
+// Unit tests of the thread-safety specification layer: monitored-variable
+// encoding, the wrapper write-sets, and the matcher evaluated on synthetic
+// wrapper-shaped traces (no universe involved).
+#include <gtest/gtest.h>
+
+#include "src/detect/race_detector.hpp"
+#include "src/simmpi/types.hpp"
+#include "src/spec/matcher.hpp"
+#include "src/spec/monitored.hpp"
+#include "src/spec/violations.hpp"
+#include "src/trace/trace_log.hpp"
+
+namespace home::spec {
+namespace {
+
+using trace::EventKind;
+using trace::MpiCallType;
+
+// Builds traces shaped exactly like HomeWrappers' output.
+class TraceBuilder {
+ public:
+  struct CallSpec {
+    MpiCallType type = MpiCallType::kRecv;
+    int rank = 0;
+    trace::Tid tid = 0;
+    int peer = -1;
+    int tag = -1;
+    std::uint64_t comm = 1;
+    std::uint64_t request = 0;
+    bool on_main = false;
+    std::uint8_t provided = 3;  // MPI_THREAD_MULTIPLE by default.
+    std::vector<trace::ObjId> locks;
+    const char* site = nullptr;
+  };
+
+  void call(const CallSpec& spec) {
+    trace::MpiCallInfo info;
+    info.type = spec.type;
+    info.peer = spec.peer;
+    info.tag = spec.tag;
+    info.comm = spec.comm;
+    info.request = spec.request;
+    info.on_main_thread = spec.on_main;
+    info.provided = spec.provided;
+    if (spec.site) info.callsite = log_.strings().intern(spec.site);
+
+    trace::Event call;
+    call.tid = spec.tid;
+    call.rank = spec.rank;
+    call.kind = EventKind::kMpiCall;
+    call.locks_held = spec.locks;
+    call.mpi = info;
+    const trace::Seq seq = log_.emit(std::move(call));
+
+    for (MonitoredVar var : monitored_vars_for(spec.type)) {
+      trace::Event write;
+      write.tid = spec.tid;
+      write.rank = spec.rank;
+      write.kind = EventKind::kMemWrite;
+      write.obj = monitored_var_id(spec.rank, var);
+      write.aux = seq;
+      write.locks_held = spec.locks;
+      log_.emit(std::move(write));
+    }
+  }
+
+  void barrier(std::initializer_list<trace::Tid> tids, trace::ObjId id) {
+    for (trace::Tid tid : tids) {
+      trace::Event e;
+      e.tid = tid;
+      e.kind = EventKind::kBarrier;
+      e.obj = id;
+      e.aux = tids.size();
+      log_.emit(std::move(e));
+    }
+  }
+
+  void region_begin(int rank, trace::Tid tid, int team = 2) {
+    trace::Event e;
+    e.tid = tid;
+    e.rank = rank;
+    e.kind = EventKind::kRegionBegin;
+    e.obj = 1;
+    e.aux = static_cast<std::uint64_t>(team);
+    log_.emit(std::move(e));
+  }
+
+  std::vector<Violation> match() {
+    detect::RaceDetector detector;
+    auto report = detector.analyze(log_.sorted_events());
+    Matcher matcher(&log_.strings());
+    return matcher.match(report);
+  }
+
+  trace::TraceLog log_;
+};
+
+bool has_type(const std::vector<Violation>& violations, ViolationType type) {
+  for (const auto& v : violations) {
+    if (v.type == type) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------ monitored variables
+
+TEST(Monitored, IdEncodingRoundTrips) {
+  for (int rank : {0, 1, 7, 63}) {
+    for (int k = 0; k < kMonitoredVarCount; ++k) {
+      const auto var = static_cast<MonitoredVar>(k);
+      const trace::ObjId id = monitored_var_id(rank, var);
+      EXPECT_TRUE(is_monitored_var(id));
+      EXPECT_EQ(monitored_var_rank(id), rank);
+      EXPECT_EQ(monitored_var_kind(id), var);
+    }
+  }
+}
+
+TEST(Monitored, NonMonitoredIdsRejected) {
+  EXPECT_FALSE(is_monitored_var(0));
+  EXPECT_FALSE(is_monitored_var(0x1000));  // lock id range.
+}
+
+TEST(Monitored, WriteSetsMatchWrapperListings) {
+  using V = MonitoredVar;
+  auto vars = monitored_vars_for(MpiCallType::kRecv);
+  EXPECT_EQ(vars, (std::vector<V>{V::kSrcTmp, V::kTagTmp, V::kCommTmp}));
+  vars = monitored_vars_for(MpiCallType::kWait);
+  EXPECT_EQ(vars, (std::vector<V>{V::kRequestTmp}));
+  vars = monitored_vars_for(MpiCallType::kBarrier);
+  EXPECT_EQ(vars, (std::vector<V>{V::kCollectiveTmp, V::kCommTmp}));
+  vars = monitored_vars_for(MpiCallType::kFinalize);
+  EXPECT_EQ(vars, (std::vector<V>{V::kFinalizeTmp}));
+  EXPECT_TRUE(monitored_vars_for(MpiCallType::kInit).empty());
+}
+
+TEST(Monitored, Names) {
+  EXPECT_STREQ(monitored_var_name(MonitoredVar::kSrcTmp), "srctmp");
+  EXPECT_STREQ(monitored_var_name(MonitoredVar::kFinalizeTmp), "finalizetmp");
+}
+
+// -------------------------------------------------------------- violations
+
+TEST(Violations, NamesAndKeys) {
+  EXPECT_STREQ(violation_type_name(ViolationType::kProbe), "ProbeViolation");
+  Violation a;
+  a.type = ViolationType::kConcurrentRecv;
+  a.rank = 1;
+  a.callsite1 = "x";
+  a.callsite2 = "y";
+  Violation b = a;
+  std::swap(b.callsite1, b.callsite2);
+  EXPECT_EQ(violation_key(a), violation_key(b));  // order-normalized.
+}
+
+TEST(Violations, ArgsOverlapWildcardAware) {
+  EXPECT_TRUE(args_overlap(3, 3));
+  EXPECT_FALSE(args_overlap(3, 4));
+  EXPECT_TRUE(args_overlap(simmpi::kAnySource, 4));
+  EXPECT_TRUE(args_overlap(3, simmpi::kAnyTag));
+}
+
+// ------------------------------------------------------------------ matcher
+
+TEST(Matcher, ConcurrentRecvSameArgs) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5,
+           .site = "r1"});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5,
+           .site = "r2"});
+  const auto violations = tb.match();
+  ASSERT_TRUE(has_type(violations, ViolationType::kConcurrentRecv));
+  EXPECT_EQ(violations[0].rank, 0);
+}
+
+TEST(Matcher, ConcurrentRecvDifferentTagsClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 6});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kConcurrentRecv));
+}
+
+TEST(Matcher, ConcurrentRecvWildcardOverlaps) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1,
+           .peer = simmpi::kAnySource, .tag = 5});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 3, .tag = 5});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kConcurrentRecv));
+}
+
+TEST(Matcher, RecvsInDifferentRanksClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.call({.type = MpiCallType::kRecv, .rank = 1, .tid = 2, .peer = 2, .tag = 5});
+  EXPECT_TRUE(tb.match().empty());
+}
+
+TEST(Matcher, RecvsOrderedByBarrierClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.barrier({1, 2}, 99);
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kConcurrentRecv));
+}
+
+TEST(Matcher, RecvsGuardedByCommonLockClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5,
+           .locks = {0x1000}});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5,
+           .locks = {0x1000}});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kConcurrentRecv));
+}
+
+TEST(Matcher, ConcurrentRequestSameRequest) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kWait, .rank = 0, .tid = 1, .request = 77});
+  tb.call({.type = MpiCallType::kTest, .rank = 0, .tid = 2, .request = 77});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kConcurrentRequest));
+}
+
+TEST(Matcher, ConcurrentRequestDifferentRequestsClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kWait, .rank = 0, .tid = 1, .request = 77});
+  tb.call({.type = MpiCallType::kWait, .rank = 0, .tid = 2, .request = 78});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kConcurrentRequest));
+}
+
+TEST(Matcher, ProbeAgainstRecv) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kProbe, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kProbe));
+}
+
+TEST(Matcher, ProbeAgainstProbe) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kIprobe, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.call({.type = MpiCallType::kProbe, .rank = 0, .tid = 2, .peer = 2, .tag = 5});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kProbe));
+}
+
+TEST(Matcher, CollectivesOnSameComm) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kBarrier, .rank = 0, .tid = 1, .comm = 9});
+  tb.call({.type = MpiCallType::kAllreduce, .rank = 0, .tid = 2, .comm = 9});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kCollectiveCall));
+}
+
+TEST(Matcher, CollectivesOnDifferentCommsClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kBarrier, .rank = 0, .tid = 1, .comm = 9});
+  tb.call({.type = MpiCallType::kBarrier, .rank = 0, .tid = 2, .comm = 10});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kCollectiveCall));
+}
+
+TEST(Matcher, InitializationSingleWithParallelRegion) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kInit, .rank = 0, .tid = 1, .on_main = true,
+           .provided = 0});
+  tb.region_begin(0, 1);
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kInitialization));
+}
+
+TEST(Matcher, InitializationSingleWithoutParallelClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kInit, .rank = 0, .tid = 1, .on_main = true,
+           .provided = 0});
+  EXPECT_TRUE(tb.match().empty());
+}
+
+TEST(Matcher, InitializationFunneledOffMain) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kInitThread, .rank = 0, .tid = 1,
+           .on_main = true, .provided = 1});
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 2, .peer = 1, .tag = 0,
+           .on_main = false, .provided = 1});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kInitialization));
+}
+
+TEST(Matcher, InitializationSerializedWithConcurrentSends) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kInitThread, .rank = 0, .tid = 1,
+           .on_main = true, .provided = 2});
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 1, .peer = 1, .tag = 1,
+           .provided = 2});
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 2, .peer = 1, .tag = 2,
+           .provided = 2});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kInitialization));
+}
+
+TEST(Matcher, FinalizeOffMainThread) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kFinalize, .rank = 0, .tid = 2, .on_main = false});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kFinalization));
+}
+
+TEST(Matcher, FinalizeConcurrentWithSend) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kFinalize, .rank = 0, .tid = 1, .on_main = true});
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 2, .peer = 1, .tag = 0});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kFinalization));
+}
+
+TEST(Matcher, CallAfterFinalizeSameThread) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kFinalize, .rank = 0, .tid = 1, .on_main = true});
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 1, .peer = 1, .tag = 0,
+           .on_main = true});
+  EXPECT_TRUE(has_type(tb.match(), ViolationType::kFinalization));
+}
+
+TEST(Matcher, FinalizeAfterBarrierOrderedClean) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kSend, .rank = 0, .tid = 2, .peer = 1, .tag = 0});
+  tb.barrier({1, 2}, 55);
+  tb.call({.type = MpiCallType::kFinalize, .rank = 0, .tid = 1, .on_main = true});
+  EXPECT_FALSE(has_type(tb.match(), ViolationType::kFinalization));
+}
+
+TEST(Matcher, DeduplicatesRepeatedPairs) {
+  TraceBuilder tb;
+  for (int i = 0; i < 5; ++i) {
+    tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5,
+             .site = "loop.recv.a"});
+    tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5,
+             .site = "loop.recv.b"});
+  }
+  const auto violations = tb.match();
+  int count = 0;
+  for (const auto& v : violations) {
+    if (v.type == ViolationType::kConcurrentRecv) ++count;
+  }
+  EXPECT_EQ(count, 1);  // one report per (type, callsite pair).
+}
+
+TEST(Matcher, StatsPopulated) {
+  TraceBuilder tb;
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 1, .peer = 2, .tag = 5});
+  tb.call({.type = MpiCallType::kRecv, .rank = 0, .tid = 2, .peer = 2, .tag = 5});
+  detect::RaceDetector detector;
+  auto report = detector.analyze(tb.log_.sorted_events());
+  Matcher matcher(&tb.log_.strings());
+  matcher.match(report);
+  EXPECT_GT(matcher.stats().concurrent_pairs, 0u);
+  EXPECT_GT(matcher.stats().call_pairs, 0u);
+  EXPECT_EQ(matcher.stats().violations, 1u);
+}
+
+}  // namespace
+}  // namespace home::spec

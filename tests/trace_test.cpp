@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/trace/event.hpp"
+#include "src/trace/thread_registry.hpp"
+#include "src/trace/trace_log.hpp"
+
+namespace home::trace {
+namespace {
+
+TEST(Event, LocksetDisjointness) {
+  EXPECT_TRUE(locksets_disjoint({}, {}));
+  EXPECT_TRUE(locksets_disjoint({1, 3}, {2, 4}));
+  EXPECT_FALSE(locksets_disjoint({1, 3}, {3, 4}));
+  EXPECT_TRUE(locksets_disjoint({5}, {}));
+}
+
+TEST(Event, KindAndCallNames) {
+  EXPECT_STREQ(event_kind_name(EventKind::kMemWrite), "MemWrite");
+  EXPECT_STREQ(mpi_call_type_name(MpiCallType::kRecv), "MPI_Recv");
+  EXPECT_STREQ(mpi_call_type_name(MpiCallType::kInitThread), "MPI_Init_thread");
+}
+
+TEST(Event, Classifiers) {
+  EXPECT_TRUE(is_collective(MpiCallType::kAllreduce));
+  EXPECT_FALSE(is_collective(MpiCallType::kSend));
+  EXPECT_TRUE(is_probe(MpiCallType::kIprobe));
+  EXPECT_TRUE(is_receive(MpiCallType::kIrecv));
+  EXPECT_TRUE(is_request_completion(MpiCallType::kTest));
+  EXPECT_FALSE(is_request_completion(MpiCallType::kRecv));
+}
+
+TEST(Event, ToStringMentionsCallArgs) {
+  Event e;
+  e.tid = 3;
+  e.rank = 1;
+  e.kind = EventKind::kMpiCall;
+  MpiCallInfo info;
+  info.type = MpiCallType::kRecv;
+  info.peer = 0;
+  info.tag = 7;
+  e.mpi = info;
+  const std::string s = event_to_string(e);
+  EXPECT_NE(s.find("MPI_Recv"), std::string::npos);
+  EXPECT_NE(s.find("tag=7"), std::string::npos);
+}
+
+TEST(StringTable, InternIsIdempotent) {
+  StringTable table;
+  const auto a = table.intern("halo.send");
+  const auto b = table.intern("halo.send");
+  const auto c = table.intern("halo.recv");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.lookup(a), "halo.send");
+  EXPECT_EQ(table.lookup(0), "");
+}
+
+TEST(TraceLog, StampsMonotonicSeq) {
+  TraceLog log;
+  Event e;
+  const Seq s1 = log.emit(e);
+  const Seq s2 = log.emit(e);
+  EXPECT_LT(s1, s2);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(TraceLog, SortedEventsAreOrdered) {
+  TraceLog log;
+  Event e;
+  for (int i = 0; i < 100; ++i) log.emit(e);
+  auto events = log.sorted_events();
+  ASSERT_EQ(events.size(), 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(TraceLog, ConcurrentEmitIsSafeAndComplete) {
+  TraceLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Event e;
+        e.kind = EventKind::kMemWrite;
+        log.emit(e);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // All seq stamps distinct.
+  auto events = log.sorted_events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_NE(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(TraceLog, ClearResets) {
+  TraceLog log;
+  log.emit(Event{});
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(ThreadRegistry, RegistersAndQueriesCurrentThread) {
+  ThreadRegistry registry;
+  const Tid tid = registry.register_current_thread(kNoTid, 3, true);
+  EXPECT_EQ(registry.current_tid(), tid);
+  EXPECT_EQ(registry.current_rank(), 3);
+  EXPECT_TRUE(registry.current_is_rank_main());
+  registry.reset();
+  EXPECT_EQ(registry.current_tid(), kNoTid);
+}
+
+TEST(ThreadRegistry, PreRegistrationAndBinding) {
+  ThreadRegistry registry;
+  registry.register_current_thread(kNoTid, 0, true);
+  const Tid child = registry.register_thread(0, 0, false);
+  EXPECT_EQ(child, 1);
+  std::thread worker([&registry, child] {
+    registry.bind_current_thread(child);
+    EXPECT_EQ(registry.current_tid(), child);
+    EXPECT_EQ(registry.current_rank(), 0);
+    EXPECT_FALSE(registry.current_is_rank_main());
+  });
+  worker.join();
+  EXPECT_EQ(registry.thread_count(), 2);
+}
+
+TEST(ThreadRegistry, InfoOutOfRangeIsEmpty) {
+  ThreadRegistry registry;
+  EXPECT_EQ(registry.info(42).tid, kNoTid);
+}
+
+TEST(ThreadRegistry, DistinctTidsAcrossThreads) {
+  ThreadRegistry registry;
+  std::vector<Tid> tids(4, kNoTid);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&registry, &tids, i] {
+      tids[static_cast<std::size_t>(i)] =
+          registry.register_current_thread(kNoTid, i, false);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::sort(tids.begin(), tids.end());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tids[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace home::trace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/util/flags.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/strings.hpp"
+
+namespace home::util {
+namespace {
+
+TEST(Flags, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--nranks=8", "--name=lu"};
+  Flags f = Flags::parse(3, argv);
+  EXPECT_EQ(f.get_int("nranks", 0), 8);
+  EXPECT_EQ(f.get("name", ""), "lu");
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--nranks", "16", "pos"};
+  Flags f = Flags::parse(4, argv);
+  EXPECT_EQ(f.get_int("nranks", 0), 16);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, BooleanForms) {
+  const char* argv[] = {"prog", "--verbose", "--no-color"};
+  Flags f = Flags::parse(3, argv);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("color", true));
+}
+
+TEST(Flags, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Flags f = Flags::parse(1, argv);
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.next_int(3, 9);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Strings, SplitJoinRoundTrip) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(to_lower("MPI_Send"), "mpi_send");
+}
+
+TEST(Strings, PrefixSuffixContains) {
+  EXPECT_TRUE(starts_with("MPI_Recv", "MPI_"));
+  EXPECT_TRUE(ends_with("halo.send", ".send"));
+  EXPECT_TRUE(contains("omp parallel for", "parallel"));
+  EXPECT_FALSE(starts_with("x", "xyz"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("MPI_Recv(MPI_Recv)", "MPI_Recv", "HMPI_Recv"),
+            "HMPI_Recv(HMPI_Recv)");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+}  // namespace
+}  // namespace home::util
