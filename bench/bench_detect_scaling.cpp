@@ -1,0 +1,343 @@
+// Scaling bench for the detection pipeline (the ISSUE-1 tentpole): frontier
+// vs pairwise per-variable analysis over an events x threads x vars sweep,
+// plus multi-threaded TraceLog emission throughput (sharded ingest).
+//
+// Modes:
+//   bench_detect_scaling                  google-benchmark suite, then the
+//                                         JSON summary sweep (one JSON object
+//                                         per line via bench::JsonRow)
+//   bench_detect_scaling --summary-only   skip the google-benchmark suite
+//   bench_detect_scaling --smoke          fast functional check of the perf
+//                                         path (frontier == pairwise verdicts,
+//                                         sharded emit integrity); ctest runs
+//                                         this at build time
+//
+// Sweep knobs: --max-events (largest events-per-variable point, default
+// 16000), --threads, --vars, --reps.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench/fig_common.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/trace/trace_log.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace home;
+
+// ------------------------------------------------------------ trace builders
+
+/// Barrier-phased race-free trace: in every phase each variable is written by
+/// exactly one thread (rotating across phases), then all threads arrive at a
+/// barrier.  Every cross-thread access pair is barrier-ordered, so there are
+/// no races: the pairwise engine can never early-break on its pair cap and
+/// pays the full O(k^2) vector-clock comparisons per variable — exactly the
+/// NPB-style long-clean-trace shape that motivated the frontier detector.
+std::vector<trace::Event> phased_trace(std::size_t events_per_var, int threads,
+                                       int vars) {
+  std::vector<trace::Event> events;
+  const std::size_t phases = events_per_var;
+  events.reserve(phases * static_cast<std::size_t>(threads + vars));
+  trace::Seq seq = 1;
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    for (int v = 0; v < vars; ++v) {
+      trace::Event e;
+      e.seq = seq++;
+      e.tid = static_cast<trace::Tid>(
+          (phase + static_cast<std::size_t>(v)) %
+          static_cast<std::size_t>(threads));
+      e.kind = trace::EventKind::kMemWrite;
+      e.obj = 100 + static_cast<trace::ObjId>(v);
+      events.push_back(std::move(e));
+    }
+    for (int t = 0; t < threads; ++t) {
+      trace::Event e;
+      e.seq = seq++;
+      e.tid = t;
+      e.kind = trace::EventKind::kBarrier;
+      e.obj = 9000 + static_cast<trace::ObjId>(phase);
+      e.aux = static_cast<std::uint64_t>(threads);
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
+/// Racy variant: no barriers, mixed locksets — verdicts are non-trivial.
+std::vector<trace::Event> racy_trace(std::size_t events_per_var, int threads,
+                                     int vars, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<trace::Event> events;
+  const std::size_t total =
+      events_per_var * static_cast<std::size_t>(vars);
+  events.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    trace::Event e;
+    e.seq = static_cast<trace::Seq>(i + 1);
+    e.tid = static_cast<trace::Tid>(rng.next_below(
+        static_cast<std::uint64_t>(threads)));
+    e.kind = rng.next_bool(0.7) ? trace::EventKind::kMemWrite
+                                : trace::EventKind::kMemRead;
+    e.obj = 100 + rng.next_below(static_cast<std::uint64_t>(vars));
+    if (rng.next_bool(0.4)) e.locks_held = {500 + rng.next_below(2)};
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+detect::RaceDetectorConfig algo_config(detect::DetectorAlgo algo,
+                                       std::size_t analysis_threads = 1) {
+  detect::RaceDetectorConfig cfg;
+  cfg.algo = algo;
+  cfg.analysis_threads = analysis_threads;
+  return cfg;
+}
+
+// ------------------------------------------------- google-benchmark suite
+
+void BM_DetectPhased(benchmark::State& state, detect::DetectorAlgo algo) {
+  const auto events_per_var = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const int vars = static_cast<int>(state.range(2));
+  const auto events = phased_trace(events_per_var, threads, vars);
+  const detect::RaceDetectorConfig cfg = algo_config(algo);
+  for (auto _ : state) {
+    auto report = detect::RaceDetector(cfg).analyze(events);
+    benchmark::DoNotOptimize(report.total_pairs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+
+void BM_DetectFrontier(benchmark::State& state) {
+  BM_DetectPhased(state, detect::DetectorAlgo::kFrontier);
+}
+void BM_DetectPairwise(benchmark::State& state) {
+  BM_DetectPhased(state, detect::DetectorAlgo::kPairwise);
+}
+// events-per-var x threads x vars.
+BENCHMARK(BM_DetectFrontier)
+    ->ArgsProduct({{1000, 4000, 16000}, {2, 8}, {4}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetectPairwise)
+    ->ArgsProduct({{1000, 4000}, {2, 8}, {4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DetectParallelVars(benchmark::State& state) {
+  // Parallel per-variable fan-out, worker count = range(0).  Measured on the
+  // pairwise engine, where per-variable work is heavy enough to fan out; the
+  // frontier engine leaves the (serial) HB pass dominant, so extra workers
+  // barely move it — see the frontier vs frontier-par rows in the summary.
+  const auto events = phased_trace(1500, 4, 16);
+  const detect::RaceDetectorConfig cfg = algo_config(
+      detect::DetectorAlgo::kPairwise, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto report = detect::RaceDetector(cfg).analyze(events);
+    benchmark::DoNotOptimize(report.total_pairs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_DetectParallelVars)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+trace::TraceLog* g_emit_log = nullptr;
+
+void BM_ShardedEmitContended(benchmark::State& state) {
+  // The BM_TraceEmit contention workload: every benchmark thread hammers one
+  // shared log.  With per-thread shards the threads never touch the same
+  // mutex on the hot path.
+  if (state.thread_index() == 0) g_emit_log = new trace::TraceLog();
+  for (auto _ : state) {
+    trace::Event e;
+    e.tid = state.thread_index();
+    e.kind = trace::EventKind::kMemWrite;
+    e.obj = 42;
+    g_emit_log->emit(std::move(e));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    delete g_emit_log;
+    g_emit_log = nullptr;
+  }
+}
+BENCHMARK(BM_ShardedEmitContended)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// --------------------------------------------------------- JSON summary mode
+
+double measure_detect_seconds(const std::vector<trace::Event>& events,
+                              const detect::RaceDetectorConfig& cfg, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    auto report = detect::RaceDetector(cfg).analyze(events);
+    benchmark::DoNotOptimize(report.total_pairs());
+    const double seconds = timer.elapsed_seconds();
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+void run_json_summary(const util::Flags& flags) {
+  // Clamp the knobs so degenerate values (e.g. --max-events 0) can't leave
+  // the sweep empty or divide by zero in the trace builders.
+  const std::size_t max_events = std::max<std::size_t>(
+      1000, static_cast<std::size_t>(std::max(0, flags.get_int("max-events",
+                                                               16000))));
+  const int threads = std::max(1, flags.get_int("threads", 8));
+  const int vars = std::max(1, flags.get_int("vars", 4));
+  const int reps = std::max(1, flags.get_int("reps", 2));
+
+  std::vector<std::size_t> sweep;
+  for (std::size_t n = std::max<std::size_t>(1000, max_events / 16);
+       n <= max_events; n *= 4) {
+    sweep.push_back(n);
+  }
+
+  std::printf("=== detect_scaling: analysis seconds vs events-per-variable "
+              "(threads=%d vars=%d) ===\n", threads, vars);
+  std::printf("%-22s", "events/var");
+  for (std::size_t n : sweep) std::printf("%12zu", n);
+  std::printf("\n");
+
+  std::map<std::size_t, double> frontier_s, pairwise_s;
+  struct Row {
+    const char* name;
+    detect::DetectorAlgo algo;
+    std::size_t workers;
+  };
+  const Row rows[] = {
+      {"frontier", detect::DetectorAlgo::kFrontier, 1},
+      {"frontier-par", detect::DetectorAlgo::kFrontier, 0},
+      {"pairwise", detect::DetectorAlgo::kPairwise, 1},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-22s", row.name);
+    for (std::size_t n : sweep) {
+      const auto events = phased_trace(n, threads, vars);
+      const double seconds =
+          measure_detect_seconds(events, algo_config(row.algo, row.workers),
+                                 reps);
+      if (row.algo == detect::DetectorAlgo::kFrontier && row.workers == 1) {
+        frontier_s[n] = seconds;
+      }
+      if (row.algo == detect::DetectorAlgo::kPairwise) pairwise_s[n] = seconds;
+      std::printf("%12.5f", seconds);
+      bench::JsonRow("detect_scaling")
+          .field("algo", row.name)
+          .field("events_per_var", n)
+          .field("threads", threads)
+          .field("vars", vars)
+          .field("trace_events", events.size())
+          .field("seconds", seconds)
+          .print(stderr);
+    }
+    std::printf("\n");
+  }
+
+  const std::size_t largest = sweep.back();
+  const double speedup = frontier_s[largest] > 0.0
+                             ? pairwise_s[largest] / frontier_s[largest]
+                             : 0.0;
+  std::printf("\nfrontier speedup at events/var=%zu: %.1fx "
+              "(pairwise %.4fs vs frontier %.4fs)\n",
+              largest, speedup, pairwise_s[largest], frontier_s[largest]);
+  bench::JsonRow("detect_scaling")
+      .field("algo", "speedup")
+      .field("events_per_var", largest)
+      .field("threads", threads)
+      .field("vars", vars)
+      .field("speedup", speedup)
+      .print(stderr);
+  std::printf("(JSON rows on stderr; expected shape: pairwise grows ~4x per "
+              "sweep step squared, frontier near-linearly)\n");
+}
+
+// ----------------------------------------------------------------- smoke mode
+
+/// Fast functional check of the perf path, run by ctest at build time: the
+/// two algorithms must agree on phased and racy traces in every mode, and
+/// the sharded log must survive contended emission intact.
+int run_smoke() {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "smoke FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+
+  for (const auto& events :
+       {phased_trace(400, 4, 6), racy_trace(200, 4, 6, 3),
+        racy_trace(300, 3, 5, 7)}) {
+    for (const detect::DetectorMode mode :
+         {detect::DetectorMode::kHybrid, detect::DetectorMode::kLocksetOnly,
+          detect::DetectorMode::kHbOnly}) {
+      detect::RaceDetectorConfig frontier = algo_config(
+          detect::DetectorAlgo::kFrontier, 2);
+      frontier.mode = mode;
+      detect::RaceDetectorConfig pairwise = algo_config(
+          detect::DetectorAlgo::kPairwise, 1);
+      pairwise.mode = mode;
+      const auto fr = detect::RaceDetector(frontier).analyze(events);
+      const auto pw = detect::RaceDetector(pairwise).analyze(events);
+      expect(fr.verdicts().size() == pw.verdicts().size(),
+             "verdict counts differ");
+      for (const auto& [var, verdict] : fr.verdicts()) {
+        const detect::VariableVerdict* other = pw.verdict(var);
+        expect(other != nullptr && other->concurrent == verdict.concurrent,
+               "frontier/pairwise verdict mismatch");
+      }
+    }
+  }
+
+  trace::TraceLog log;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace::Event e;
+        e.kind = trace::EventKind::kMemWrite;
+        log.emit(std::move(e));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  expect(log.size() == static_cast<std::size_t>(kThreads * kPerThread),
+         "sharded emit lost events");
+  const auto events = log.sorted_events();
+  expect(events.size() == static_cast<std::size_t>(kThreads * kPerThread),
+         "sorted_events size mismatch");
+  bool ordered = true;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ordered = ordered && events[i - 1].seq < events[i].seq;
+  }
+  expect(ordered, "seq is not a strict total order");
+
+  if (failures == 0) std::printf("bench_detect_scaling --smoke: ok\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  if (flags.get_bool("smoke", false)) return run_smoke();
+  benchmark::Initialize(&argc, argv);
+  if (!flags.get_bool("summary-only", false)) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  run_json_summary(flags);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,12 @@
 // Shared driver for the Figure 4/5/6/7 reproductions: sweep the MPI process
 // count and print one runtime row per tool, like the paper's bar charts.
+// Also provides the one-JSON-object-per-line emitter the scaling benches use
+// so their measurements stay machine-comparable across runs.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/apps/app.hpp"
@@ -11,6 +14,55 @@
 #include "src/util/flags.hpp"
 
 namespace home::bench {
+
+/// Builds one flat JSON object and prints it as a single line, e.g.
+///   JsonRow("detect_scaling").field("algo", "frontier")
+///       .field("events", 4000).field("seconds", 0.01).print();
+/// -> {"bench":"detect_scaling","algo":"frontier","events":4000,...}
+/// Values are limited to what the benches need: strings, integers, doubles.
+class JsonRow {
+ public:
+  explicit JsonRow(const std::string& bench) {
+    body_ = "{\"bench\":\"" + escaped(bench) + "\"";
+  }
+
+  JsonRow& field(const char* key, const std::string& value) {
+    body_ += std::string(",\"") + key + "\":\"" + escaped(value) + "\"";
+    return *this;
+  }
+  JsonRow& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRow& field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    body_ += std::string(",\"") + key + "\":" + buf;
+    return *this;
+  }
+  JsonRow& field(const char* key, std::size_t value) {
+    body_ += std::string(",\"") + key + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonRow& field(const char* key, int value) {
+    body_ += std::string(",\"") + key + "\":" + std::to_string(value);
+    return *this;
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::fprintf(out, "%s}\n", body_.c_str());
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  std::string body_;
+};
 
 inline std::vector<int> process_sweep(const util::Flags& flags) {
   const int max_p = flags.get_int("max-procs", 64);

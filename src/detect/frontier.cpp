@@ -1,0 +1,89 @@
+#include "src/detect/frontier.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace home::detect {
+
+namespace {
+
+/// Frontier state for one thread on one variable.
+struct ThreadFrontier {
+  /// Maximal access per (is_write, lockset) class; small in practice (one or
+  /// two lock disciplines per thread per variable).
+  std::vector<std::size_t> keyed;
+  /// Ring of most recent accesses (any class), newest-independent order.
+  std::vector<std::size_t> recent;
+  std::size_t recent_next = 0;
+};
+
+bool same_class(const trace::Event& a, const trace::Event& b) {
+  return a.is_write() == b.is_write() && a.locks_held == b.locks_held;
+}
+
+}  // namespace
+
+VariableVerdict frontier_sweep_variable(const HbIndex& hb,
+                                        const RaceDetectorConfig& cfg,
+                                        trace::ObjId var,
+                                        const std::vector<std::size_t>& indices) {
+  VariableVerdict verdict;
+  verdict.var = var;
+
+  std::map<trace::Tid, ThreadFrontier> frontiers;
+  std::vector<std::size_t> candidates;
+
+  for (const std::size_t i : indices) {
+    const trace::Event& e = hb.events()[i];
+
+    // Gather the other threads' frontier entries (keyed maxima + recent
+    // ring), deduplicated; tid-ordered map iteration keeps this
+    // deterministic.
+    candidates.clear();
+    for (const auto& [tid, frontier] : frontiers) {
+      if (tid == e.tid) continue;
+      for (const std::size_t j : frontier.keyed) candidates.push_back(j);
+      for (const std::size_t j : frontier.recent) candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    for (const std::size_t j : candidates) {
+      if (!accesses_racy(cfg.mode, hb, j, i)) continue;
+      verdict.concurrent = true;
+      if (cfg.max_pairs_per_var != 0 &&
+          verdict.pairs.size() >= cfg.max_pairs_per_var) {
+        // Verdict set and the pair budget is spent: nothing about this
+        // variable can change any more.
+        return verdict;
+      }
+      verdict.pairs.push_back(
+          ConcurrentPair{j, i, hb.events()[j].tid, e.tid});
+    }
+
+    // Advance this thread's frontier.
+    ThreadFrontier& mine = frontiers[e.tid];
+    bool replaced = false;
+    for (std::size_t& j : mine.keyed) {
+      if (same_class(hb.events()[j], e)) {
+        j = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) mine.keyed.push_back(i);
+    if (cfg.frontier_history > 0) {
+      if (mine.recent.size() < cfg.frontier_history) {
+        mine.recent.push_back(i);
+      } else {
+        mine.recent[mine.recent_next] = i;
+        mine.recent_next = (mine.recent_next + 1) % cfg.frontier_history;
+      }
+    }
+  }
+
+  return verdict;
+}
+
+}  // namespace home::detect

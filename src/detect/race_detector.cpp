@@ -1,6 +1,10 @@
 #include "src/detect/race_detector.hpp"
 
+#include <atomic>
 #include <sstream>
+#include <thread>
+
+#include "src/detect/frontier.hpp"
 
 namespace home::detect {
 
@@ -9,6 +13,14 @@ const char* detector_mode_name(DetectorMode mode) {
     case DetectorMode::kHybrid: return "hybrid";
     case DetectorMode::kLocksetOnly: return "lockset-only";
     case DetectorMode::kHbOnly: return "hb-only";
+  }
+  return "?";
+}
+
+const char* detector_algo_name(DetectorAlgo algo) {
+  switch (algo) {
+    case DetectorAlgo::kFrontier: return "frontier";
+    case DetectorAlgo::kPairwise: return "pairwise";
   }
   return "?";
 }
@@ -31,6 +43,64 @@ std::string ConcurrencyReport::summary() const {
   return os.str();
 }
 
+bool accesses_racy(DetectorMode mode, const HbIndex& hb, std::size_t i,
+                   std::size_t j) {
+  const trace::Event& ei = hb.events()[i];
+  const trace::Event& ej = hb.events()[j];
+  if (ei.tid == ej.tid) return false;
+  if (!ei.is_write() && !ej.is_write()) return false;
+  switch (mode) {
+    case DetectorMode::kHybrid:
+      return hb.concurrent(i, j) &&
+             trace::locksets_disjoint(ei.locks_held, ej.locks_held);
+    case DetectorMode::kLocksetOnly:
+      return trace::locksets_disjoint(ei.locks_held, ej.locks_held);
+    case DetectorMode::kHbOnly:
+      return hb.concurrent(i, j);
+  }
+  return false;
+}
+
+namespace {
+
+VariableVerdict pairwise_sweep_variable(const HbIndex& hb,
+                                        const RaceDetectorConfig& cfg,
+                                        trace::ObjId var,
+                                        const std::vector<std::size_t>& indices) {
+  VariableVerdict verdict;
+  verdict.var = var;
+  const bool capped = cfg.max_pairs_per_var != 0;
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    for (std::size_t b = a + 1; b < indices.size(); ++b) {
+      if (!accesses_racy(cfg.mode, hb, indices[a], indices[b])) continue;
+      verdict.concurrent = true;
+      verdict.pairs.push_back(ConcurrentPair{indices[a], indices[b],
+                                             hb.events()[indices[a]].tid,
+                                             hb.events()[indices[b]].tid});
+      if (capped && verdict.pairs.size() >= cfg.max_pairs_per_var) {
+        // The verdict is set and the pair budget is spent: no further
+        // comparison can change this variable's result.
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+VariableVerdict sweep_variable(const HbIndex& hb, const RaceDetectorConfig& cfg,
+                               trace::ObjId var,
+                               const std::vector<std::size_t>& indices) {
+  switch (cfg.algo) {
+    case DetectorAlgo::kPairwise:
+      return pairwise_sweep_variable(hb, cfg, var, indices);
+    case DetectorAlgo::kFrontier:
+      break;
+  }
+  return frontier_sweep_variable(hb, cfg, var, indices);
+}
+
+}  // namespace
+
 ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const {
   // The HB pass: hybrid and lockset modes use strong edges only; the pure-HB
   // ablation additionally treats release->acquire as ordering.
@@ -38,48 +108,55 @@ ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const 
   hb_cfg.lock_edges = (cfg_.mode == DetectorMode::kHbOnly);
   HbIndex hb = HappensBeforeAnalysis(hb_cfg).run(std::move(events));
 
-  // Group access-event indices by variable.
+  // Group access-event indices by variable (seq order preserved).
   std::map<trace::ObjId, std::vector<std::size_t>> by_var;
+  std::size_t total_accesses = 0;
   for (std::size_t i = 0; i < hb.events().size(); ++i) {
-    if (hb.events()[i].is_access()) by_var[hb.events()[i].obj].push_back(i);
+    if (hb.events()[i].is_access()) {
+      by_var[hb.events()[i].obj].push_back(i);
+      ++total_accesses;
+    }
+  }
+
+  // Variables are independent once grouped: fan the per-variable sweeps
+  // across a worker pool and merge deterministically (results are indexed by
+  // the variable's position in key order, so scheduling never shows).
+  std::vector<const std::pair<const trace::ObjId, std::vector<std::size_t>>*>
+      vars;
+  vars.reserve(by_var.size());
+  for (const auto& entry : by_var) vars.push_back(&entry);
+  std::vector<VariableVerdict> results(vars.size());
+
+  std::size_t nworkers =
+      cfg_.analysis_threads != 0
+          ? cfg_.analysis_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  nworkers = std::min(nworkers, vars.size());
+  if (total_accesses < kParallelAnalysisThreshold) nworkers = 1;
+
+  auto sweep_range = [&](std::atomic<std::size_t>* next) {
+    for (std::size_t k = next->fetch_add(1, std::memory_order_relaxed);
+         k < vars.size();
+         k = next->fetch_add(1, std::memory_order_relaxed)) {
+      results[k] = sweep_variable(hb, cfg_, vars[k]->first, vars[k]->second);
+    }
+  };
+
+  std::atomic<std::size_t> next{0};
+  if (nworkers <= 1) {
+    sweep_range(&next);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(nworkers);
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      workers.emplace_back(sweep_range, &next);
+    }
+    for (std::thread& worker : workers) worker.join();
   }
 
   std::map<trace::ObjId, VariableVerdict> verdicts;
-  for (const auto& [var, indices] : by_var) {
-    VariableVerdict verdict;
-    verdict.var = var;
-    for (std::size_t a = 0; a < indices.size(); ++a) {
-      for (std::size_t b = a + 1; b < indices.size(); ++b) {
-        const std::size_t i = indices[a];
-        const std::size_t j = indices[b];
-        const trace::Event& ei = hb.events()[i];
-        const trace::Event& ej = hb.events()[j];
-        if (ei.tid == ej.tid) continue;
-        if (!ei.is_write() && !ej.is_write()) continue;
-
-        bool racy = false;
-        switch (cfg_.mode) {
-          case DetectorMode::kHybrid:
-            racy = hb.concurrent(i, j) &&
-                   trace::locksets_disjoint(ei.locks_held, ej.locks_held);
-            break;
-          case DetectorMode::kLocksetOnly:
-            racy = trace::locksets_disjoint(ei.locks_held, ej.locks_held);
-            break;
-          case DetectorMode::kHbOnly:
-            racy = hb.concurrent(i, j);
-            break;
-        }
-        if (!racy) continue;
-
-        verdict.concurrent = true;
-        if (cfg_.max_pairs_per_var == 0 ||
-            verdict.pairs.size() < cfg_.max_pairs_per_var) {
-          verdict.pairs.push_back(ConcurrentPair{i, j, ei.tid, ej.tid});
-        }
-      }
-    }
-    verdicts.emplace(var, std::move(verdict));
+  for (std::size_t k = 0; k < vars.size(); ++k) {
+    verdicts.emplace_hint(verdicts.end(), vars[k]->first, std::move(results[k]));
   }
 
   return ConcurrencyReport(std::move(hb), std::move(verdicts), cfg_.mode);

@@ -30,6 +30,19 @@ enum class DetectorMode : std::uint8_t {
 
 const char* detector_mode_name(DetectorMode mode);
 
+/// How the per-variable concurrency verdict is computed.  Both algorithms
+/// produce identical `concurrent` flags in every DetectorMode (the frontier
+/// keeps, per thread, the maximal access of each (kind, lockset) class, which
+/// is sufficient: any racy partner has a still-frontier successor with the
+/// same lockset and kind that is also racy); they differ only in cost and in
+/// which representative pairs they report.
+enum class DetectorAlgo : std::uint8_t {
+  kFrontier,  ///< one seq-order sweep, O(events x frontier width) per var.
+  kPairwise,  ///< the original O(k^2) enumeration (cross-check / ablation).
+};
+
+const char* detector_algo_name(DetectorAlgo algo);
+
 /// One pair of accesses judged concurrent. Indices refer to HbIndex::events().
 struct ConcurrentPair {
   std::size_t first = 0;
@@ -83,7 +96,22 @@ struct RaceDetectorConfig {
   /// Cap on reported pairs per variable (keeps quadratic scans bounded on
   /// adversarial traces; 0 = unlimited).
   std::size_t max_pairs_per_var = 64;
+  DetectorAlgo algo = DetectorAlgo::kFrontier;
+  /// Worker threads for the per-variable sweeps (variables are independent
+  /// after grouping).  0 = auto (hardware_concurrency); 1 = serial.  Small
+  /// traces always run serially regardless (see kParallelAnalysisThreshold).
+  std::size_t analysis_threads = 0;
+  /// Frontier only: per-thread ring of most recent accesses kept *besides*
+  /// the maximal (kind, lockset) entries, so superseded-but-racy accesses
+  /// (e.g. a probe followed by the same thread's receive) still surface as
+  /// reported pairs for the thread-safety matcher.  Does not affect the
+  /// `concurrent` verdict.
+  std::size_t frontier_history = 8;
 };
+
+/// Per-variable sweeps with fewer accesses than this run serially even when
+/// analysis_threads allows more workers (thread spawn would dominate).
+inline constexpr std::size_t kParallelAnalysisThreshold = 4096;
 
 class RaceDetector {
  public:
@@ -95,5 +123,10 @@ class RaceDetector {
  private:
   RaceDetectorConfig cfg_;
 };
+
+/// One pairwise racy-access predicate shared by both algorithms: different
+/// threads, at least one write, then the mode's concurrency test.
+bool accesses_racy(DetectorMode mode, const HbIndex& hb, std::size_t i,
+                   std::size_t j);
 
 }  // namespace home::detect

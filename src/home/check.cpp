@@ -30,11 +30,8 @@ CheckResult check_program(const CheckConfig& cfg,
 }
 
 Report analyze_trace(const trace::LoadedTrace& loaded, const SessionConfig& cfg) {
-  detect::RaceDetectorConfig dcfg;
-  dcfg.mode = cfg.detector;
-  dcfg.max_pairs_per_var = cfg.max_pairs_per_var;
   detect::ConcurrencyReport concurrency =
-      detect::RaceDetector(dcfg).analyze(loaded.events);
+      detect::RaceDetector(make_detector_config(cfg)).analyze(loaded.events);
 
   // Rebuild the string table so callsite ids resolve like in the live run.
   trace::StringTable strings;

@@ -8,6 +8,15 @@
 
 namespace home {
 
+detect::RaceDetectorConfig make_detector_config(const SessionConfig& cfg) {
+  detect::RaceDetectorConfig dcfg;
+  dcfg.mode = cfg.detector;
+  dcfg.max_pairs_per_var = cfg.max_pairs_per_var;
+  dcfg.algo = cfg.detector_algo;
+  dcfg.analysis_threads = cfg.analysis_threads;
+  return dcfg;
+}
+
 Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
   WrapperConfig wcfg;
   wcfg.filter = cfg_.filter;
@@ -42,21 +51,16 @@ void Session::save_trace(const std::string& path) const {
 }
 
 std::vector<spec::MessageRace> Session::message_races() {
-  detect::RaceDetectorConfig dcfg;
-  dcfg.mode = cfg_.detector;
-  dcfg.max_pairs_per_var = cfg_.max_pairs_per_var;
   detect::ConcurrencyReport concurrency =
-      detect::RaceDetector(dcfg).analyze(log_.sorted_events());
+      detect::RaceDetector(make_detector_config(cfg_))
+          .analyze(log_.sorted_events());
   return spec::find_message_races(concurrency, &log_.strings());
 }
 
 Report Session::analyze() {
   util::Stopwatch timer;
 
-  detect::RaceDetectorConfig dcfg;
-  dcfg.mode = cfg_.detector;
-  dcfg.max_pairs_per_var = cfg_.max_pairs_per_var;
-  detect::RaceDetector detector(dcfg);
+  detect::RaceDetector detector(make_detector_config(cfg_));
   detect::ConcurrencyReport concurrency = detector.analyze(log_.sorted_events());
 
   spec::Matcher matcher(&log_.strings());

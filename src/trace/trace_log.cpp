@@ -1,6 +1,7 @@
 #include "src/trace/trace_log.hpp"
 
 #include <algorithm>
+#include <queue>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,11 +9,12 @@ namespace home::trace {
 
 std::uint32_t StringTable::intern(const std::string& s) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t i = 0; i < strings_.size(); ++i) {
-    if (strings_[i] == s) return static_cast<std::uint32_t>(i);
-  }
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
   strings_.push_back(s);
-  return static_cast<std::uint32_t>(strings_.size() - 1);
+  index_.emplace(s, id);
+  return id;
 }
 
 const std::string& StringTable::lookup(std::uint32_t id) const {
@@ -26,34 +28,145 @@ std::size_t StringTable::size() const {
   return strings_.size();
 }
 
+namespace {
+
+std::uint64_t next_log_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache mapping log_id -> shard pointer.  Small ring with
+/// move-to-front; a miss just registers a fresh shard with the log (a thread
+/// may own several shards of one log after eviction, which only adds a run
+/// to the merge — correctness does not depend on one-shard-per-thread).
+struct ShardCacheEntry {
+  std::uint64_t log_id = 0;
+  void* shard = nullptr;
+};
+constexpr std::size_t kShardCacheSize = 16;
+thread_local ShardCacheEntry t_shard_cache[kShardCacheSize];
+thread_local std::size_t t_shard_cache_next = 0;
+
+}  // namespace
+
+TraceLog::TraceLog() : log_id_(next_log_id()) {}
+
+TraceLog::~TraceLog() = default;
+
+TraceLog::Shard* TraceLog::shard_for_this_thread() {
+  for (ShardCacheEntry& entry : t_shard_cache) {
+    if (entry.log_id == log_id_) return static_cast<Shard*>(entry.shard);
+  }
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards_.push_back(std::move(shard));
+  }
+  ShardCacheEntry& slot = t_shard_cache[t_shard_cache_next];
+  t_shard_cache_next = (t_shard_cache_next + 1) % kShardCacheSize;
+  slot.log_id = log_id_;
+  slot.shard = raw;
+  return raw;
+}
+
 Seq TraceLog::emit(Event e) {
+  Shard* shard = shard_for_this_thread();
   const Seq seq = seq_.fetch_add(1, std::memory_order_relaxed);
   e.seq = seq;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(e));
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->events.push_back(std::move(e));
   return seq;
 }
 
 std::vector<Event> TraceLog::sorted_events() const {
-  std::vector<Event> out;
+  // Snapshot every shard.  Each run is seq-sorted by construction: a shard is
+  // only appended to by its owning thread, which stamps and pushes in order.
+  std::vector<std::vector<Event>> runs;
+  std::size_t total = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    out = events_;
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    runs.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> slock(shard->mu);
+      if (shard->events.empty()) continue;
+      runs.push_back(shard->events);
+      total += runs.back().size();
+    }
   }
-  std::sort(out.begin(), out.end(),
-            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  std::vector<Event> out;
+  out.reserve(total);
+  if (runs.empty()) return out;
+  if (runs.size() == 1) return std::move(runs.front());
+
+  // Fast path: runs with pairwise-disjoint seq ranges (single-threaded
+  // phases, or one shard doing nearly all the emitting) just concatenate.
+  std::sort(runs.begin(), runs.end(),
+            [](const std::vector<Event>& a, const std::vector<Event>& b) {
+              return a.front().seq < b.front().seq;
+            });
+  bool disjoint = true;
+  for (std::size_t r = 0; r + 1 < runs.size(); ++r) {
+    if (runs[r].back().seq >= runs[r + 1].front().seq) {
+      disjoint = false;
+      break;
+    }
+  }
+  if (disjoint) {
+    for (auto& run : runs) {
+      out.insert(out.end(), std::make_move_iterator(run.begin()),
+                 std::make_move_iterator(run.end()));
+    }
+    return out;
+  }
+
+  // General case: k-way merge by seq.
+  struct Head {
+    Seq seq;
+    std::size_t run;
+    std::size_t pos;
+    bool operator>(const Head& other) const { return seq > other.seq; }
+  };
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    heap.push(Head{runs[r].front().seq, r, 0});
+  }
+  while (!heap.empty()) {
+    const Head head = heap.top();
+    heap.pop();
+    out.push_back(std::move(runs[head.run][head.pos]));
+    const std::size_t next = head.pos + 1;
+    if (next < runs[head.run].size()) {
+      heap.push(Head{runs[head.run][next].seq, head.run, next});
+    }
+  }
   return out;
 }
 
 std::size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> slock(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
 }
 
 void TraceLog::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  // Shards stay registered (emitting threads hold cached pointers); only
+  // their contents are dropped.
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> slock(shard->mu);
+    shard->events.clear();
+  }
   seq_.store(1, std::memory_order_relaxed);
+}
+
+std::size_t TraceLog::shard_count() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_.size();
 }
 
 std::string TraceLog::dump() const {

@@ -1,26 +1,41 @@
 // Trace sink: collects the event stream emitted by the substrates.
 //
 // HOME's selective instrumentation keeps the event volume small (a handful of
-// events per wrapped MPI call), so a single locked append is cheap; the
-// ITC-style baseline deliberately streams *all* memory accesses through its
-// own online detector instead of this log (see src/baselines/itc.hpp).
+// events per wrapped MPI call), but the wrappers fire from every rank-thread
+// and every OpenMP worker at once, so the sink is built to scale with the
+// emitting side:
 //
-// Events carry a global sequence stamp drawn from an atomic counter, which
-// yields a total observation order consistent with each thread's program
-// order — the replay order used by the offline detectors.
+//   * emit() appends to a *per-thread shard*: each emitting thread registers
+//     its own append buffer with the log on first use (cached in TLS), so the
+//     hot path takes an uncontended per-shard mutex instead of serializing
+//     every wrapper call through one global lock;
+//   * events carry a global sequence stamp drawn from an atomic counter,
+//     which yields a total observation order consistent with each thread's
+//     program order — the replay order used by the offline detectors;
+//   * sorted_events() reassembles that order with a k-way merge over the
+//     shards (each shard is seq-sorted by construction), with a
+//     concatenation fast path when the shards' seq ranges do not overlap.
+//
+// The ITC-style baseline deliberately streams *all* memory accesses through
+// its own online detector instead of this log (see src/baselines/itc.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/trace/event.hpp"
 
 namespace home::trace {
 
-/// Interns callsite labels so MpiCallInfo stays flat.
+/// Interns callsite labels so MpiCallInfo stays flat.  Lookup by content is
+/// O(1) via a hash index; storage is a deque so lookup() references stay
+/// valid across concurrent interns.
 class StringTable {
  public:
   std::uint32_t intern(const std::string& s);
@@ -29,16 +44,19 @@ class StringTable {
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::string> strings_{""};  // id 0 = empty label.
+  std::deque<std::string> strings_{""};  // id 0 = empty label.
+  std::unordered_map<std::string, std::uint32_t> index_{{"", 0}};
 };
 
 class TraceLog {
  public:
-  TraceLog() = default;
+  TraceLog();
+  ~TraceLog();
   TraceLog(const TraceLog&) = delete;
   TraceLog& operator=(const TraceLog&) = delete;
 
-  /// Stamp e.seq and append. Thread-safe. Returns the assigned seq.
+  /// Stamp e.seq and append to the calling thread's shard. Thread-safe.
+  /// Returns the assigned seq.
   Seq emit(Event e);
 
   /// Next sequence stamp without recording an event (for interval markers).
@@ -50,6 +68,9 @@ class TraceLog {
   std::size_t size() const;
   void clear();
 
+  /// Number of per-thread append shards currently registered (diagnostic).
+  std::size_t shard_count() const;
+
   StringTable& strings() { return strings_; }
   const StringTable& strings() const { return strings_; }
 
@@ -57,10 +78,23 @@ class TraceLog {
   std::string dump() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
+  /// One append buffer per emitting thread.  Only the owning thread writes;
+  /// the mutex exists so snapshot readers (sorted_events / size) can run
+  /// concurrently with emission, and is uncontended on the writer fast path.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  Shard* shard_for_this_thread();
+
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<Seq> seq_{1};
   StringTable strings_;
+  /// Process-unique id; keys the per-thread shard cache so a stale cache
+  /// entry from a destroyed log can never alias a new log instance.
+  const std::uint64_t log_id_;
 };
 
 }  // namespace home::trace
