@@ -1,0 +1,206 @@
+// Online streaming engine bench (the ISSUE-2 tentpole): events/sec of the
+// streaming analyzer vs the buffered post-mortem pipeline over the same
+// synthetic trace, and the resident-state ceiling as the trace length grows
+// (post-mortem retains every event; online retires behind the watermark).
+//
+// Modes:
+//   bench_online            full sweep, one JSON object per line (JsonRow)
+//   bench_online --smoke    fast functional check (streamed verdicts match
+//                           post-mortem, resident state stays bounded);
+//                           ctest runs this at build time
+//
+// Knobs: --max-events (largest sweep point, default 320000), --threads,
+// --vars, --retire (sweep's retirement interval), --reps.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/fig_common.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/online/online_analyzer.hpp"
+#include "src/spec/monitored.hpp"
+#include "src/trace/thread_registry.hpp"
+#include "src/trace/trace_log.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace home;
+
+/// A sustained hybrid-looking stream: round-robin writes over a small
+/// variable set, a fresh message edge per step (the state that grows without
+/// bound unless retired), and a full barrier every 64 steps (the
+/// synchronization that advances the retirement watermark).
+std::vector<trace::Event> streaming_trace(std::size_t n_events, int threads,
+                                          int vars) {
+  std::vector<trace::Event> events;
+  events.reserve(n_events + n_events / 64 * static_cast<std::size_t>(threads));
+  trace::Seq seq = 1;
+  trace::ObjId msg = 7000;
+  std::size_t i = 0;
+  while (events.size() < n_events) {
+    const auto tid =
+        static_cast<trace::Tid>(i % static_cast<std::size_t>(threads));
+    trace::Event e;
+    e.seq = seq++;
+    e.tid = tid;
+    if (i % 3 == 0) {
+      e.kind = trace::EventKind::kMsgSend;
+      e.obj = msg;
+    } else if (i % 3 == 1) {
+      e.kind = trace::EventKind::kMsgRecv;
+      e.obj = msg++;
+    } else {
+      // Write monitored variables (what the pipeline actually analyzes —
+      // both stats counters filter on is_monitored_var).
+      e.kind = trace::EventKind::kMemWrite;
+      const int v = static_cast<int>(i % static_cast<std::size_t>(vars));
+      e.obj = spec::monitored_var_id(v / 6,
+                                     static_cast<spec::MonitoredVar>(v % 6));
+    }
+    events.push_back(std::move(e));
+    ++i;
+    if (i % 64 == 0) {
+      const trace::ObjId barrier = 9000 + static_cast<trace::ObjId>(i);
+      for (int t = 0; t < threads; ++t) {
+        trace::Event b;
+        b.seq = seq++;
+        b.tid = static_cast<trace::Tid>(t);
+        b.kind = trace::EventKind::kBarrier;
+        b.obj = barrier;
+        b.aux = static_cast<std::uint64_t>(threads);
+        events.push_back(std::move(b));
+      }
+    }
+  }
+  return events;
+}
+
+struct OnlineRun {
+  double seconds = 0;
+  online::OnlineStats stats;
+};
+
+OnlineRun run_online(const std::vector<trace::Event>& events, int threads,
+                     std::size_t retire_interval) {
+  trace::ThreadRegistry registry;
+  for (int t = 0; t < threads; ++t) {
+    registry.register_thread(trace::kNoTid, 0, t == 0);
+  }
+  online::OnlineConfig cfg;
+  cfg.queue_capacity = 4096;
+  cfg.retire_interval = retire_interval;
+  online::OnlineAnalyzer analyzer(cfg, nullptr, &registry);
+  util::Stopwatch timer;
+  for (const trace::Event& e : events) analyzer.on_event(e);
+  analyzer.finish();
+  OnlineRun run;
+  run.seconds = timer.elapsed_seconds();
+  run.stats = analyzer.stats();
+  return run;
+}
+
+double run_post_mortem(const std::vector<trace::Event>& events,
+                       std::size_t* pairs_out = nullptr) {
+  detect::RaceDetectorConfig cfg;
+  util::Stopwatch timer;
+  const detect::ConcurrencyReport report =
+      detect::RaceDetector(cfg).analyze(events);
+  const double seconds = timer.elapsed_seconds();
+  if (pairs_out != nullptr) {
+    std::size_t pairs = 0;
+    for (const auto& [var, verdict] : report.verdicts()) {
+      if (spec::is_monitored_var(var)) pairs += verdict.pairs.size();
+    }
+    *pairs_out = pairs;
+  }
+  return seconds;
+}
+
+int smoke() {
+  const int threads = 4;
+  const std::vector<trace::Event> events = streaming_trace(20000, threads, 6);
+
+  std::size_t post_pairs = 0;
+  run_post_mortem(events, &post_pairs);
+  const OnlineRun with_retire = run_online(events, threads, 256);
+  const OnlineRun no_retire = run_online(events, threads, 0);
+
+  if (with_retire.stats.events_processed != events.size()) {
+    std::fprintf(stderr, "smoke: dropped events under kBlock\n");
+    return 1;
+  }
+  if (with_retire.stats.concurrent_pairs != no_retire.stats.concurrent_pairs) {
+    std::fprintf(stderr, "smoke: retirement changed the pair count (%zu vs %zu)\n",
+                 with_retire.stats.concurrent_pairs,
+                 no_retire.stats.concurrent_pairs);
+    return 1;
+  }
+  if (with_retire.stats.concurrent_pairs != post_pairs) {
+    std::fprintf(stderr, "smoke: online pairs %zu != post-mortem pairs %zu\n",
+                 with_retire.stats.concurrent_pairs, post_pairs);
+    return 1;
+  }
+  if (with_retire.stats.peak_resident >= no_retire.stats.peak_resident) {
+    std::fprintf(stderr, "smoke: retirement did not shrink resident state\n");
+    return 1;
+  }
+  if (with_retire.stats.peak_resident > 4000) {
+    std::fprintf(stderr, "smoke: resident state not bounded (%zu)\n",
+                 with_retire.stats.peak_resident);
+    return 1;
+  }
+  std::printf("bench_online --smoke: OK (pairs=%zu, resident %zu vs %zu)\n",
+              post_pairs, with_retire.stats.peak_resident,
+              no_retire.stats.peak_resident);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  if (flags.get_bool("smoke", false)) return smoke();
+
+  const int threads = flags.get_int("threads", 4);
+  const int vars = flags.get_int("vars", 6);
+  const int reps = flags.get_int("reps", 3);
+  const auto max_events =
+      static_cast<std::size_t>(flags.get_int("max-events", 320000));
+  const auto retire =
+      static_cast<std::size_t>(flags.get_int("retire", 1024));
+
+  for (std::size_t n = max_events / 32; n <= max_events; n *= 2) {
+    const std::vector<trace::Event> events = streaming_trace(n, threads, vars);
+    double online_best = 1e100;
+    double post_best = 1e100;
+    online::OnlineStats stats;
+    for (int r = 0; r < reps; ++r) {
+      const OnlineRun run = run_online(events, threads, retire);
+      if (run.seconds < online_best) {
+        online_best = run.seconds;
+        stats = run.stats;
+      }
+      post_best = std::min(post_best, run_post_mortem(events));
+    }
+    const OnlineRun unbounded = run_online(events, threads, 0);
+    bench::JsonRow("online_streaming")
+        .field("events", events.size())
+        .field("threads", threads)
+        .field("retire_interval", retire)
+        .field("online_seconds", online_best)
+        .field("online_events_per_sec",
+               static_cast<double>(events.size()) / online_best)
+        .field("post_mortem_seconds", post_best)
+        .field("post_mortem_events_per_sec",
+               static_cast<double>(events.size()) / post_best)
+        .field("peak_resident", stats.peak_resident)
+        .field("peak_resident_unretired", unbounded.stats.peak_resident)
+        .field("retire_sweeps", stats.retire_sweeps)
+        .field("records_retired", stats.records_retired)
+        .field("concurrent_pairs", stats.concurrent_pairs)
+        .print();
+  }
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/detect/incremental.hpp"
+
 namespace home::detect {
 
 std::size_t HbIndex::index_of_seq(trace::Seq seq) const {
@@ -31,92 +33,14 @@ bool is_potential_hb_race(const HbIndex& hb, std::size_t i, std::size_t j) {
 }
 
 HbIndex HappensBeforeAnalysis::run(std::vector<trace::Event> events) const {
+  // One IncrementalHb step per event: the offline replay IS the streaming
+  // replay over a buffered stream, so the online engine (src/online/) and
+  // this pass can never diverge on stamps.
+  IncrementalHb inc(cfg_);
   std::vector<VectorClock> stamps(events.size());
-
-  std::map<trace::Tid, VectorClock> thread_clock;
-  std::map<trace::ObjId, VectorClock> lock_clock;     // release->acquire edges.
-  std::map<trace::ObjId, VectorClock> message_clock;  // send->recv edges.
-
-  // Barrier instances under accumulation: obj -> (arrived tids, joined clock).
-  struct BarrierAcc {
-    std::vector<trace::Tid> arrived;
-    VectorClock joined;
-  };
-  std::map<trace::ObjId, BarrierAcc> barriers;
-
-  auto clock_of = [&thread_clock](trace::Tid tid) -> VectorClock& {
-    return thread_clock[tid];
-  };
-
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const trace::Event& e = events[i];
-    VectorClock& clk = clock_of(e.tid);
-
-    // Incoming edges are applied before stamping the event so that the stamp
-    // reflects everything the thread has synchronized with.
-    switch (e.kind) {
-      case trace::EventKind::kLockAcquire:
-        if (cfg_.lock_edges) {
-          auto it = lock_clock.find(e.obj);
-          if (it != lock_clock.end()) clk.join(it->second);
-        }
-        break;
-      case trace::EventKind::kMsgRecv:
-        if (cfg_.message_edges) {
-          auto it = message_clock.find(e.obj);
-          if (it != message_clock.end()) clk.join(it->second);
-        }
-        break;
-      case trace::EventKind::kThreadJoin: {
-        const auto child = static_cast<trace::Tid>(e.obj);
-        auto it = thread_clock.find(child);
-        if (it != thread_clock.end()) clk.join(it->second);
-        break;
-      }
-      default:
-        break;
-    }
-
-    clk.bump(e.tid);
-    stamps[i] = clk;
-
-    // Outgoing edges after the stamp.
-    switch (e.kind) {
-      case trace::EventKind::kLockRelease:
-        if (cfg_.lock_edges) {
-          VectorClock& lc = lock_clock[e.obj];
-          lc.join(clk);
-        }
-        break;
-      case trace::EventKind::kMsgSend:
-        if (cfg_.message_edges) {
-          VectorClock& mc = message_clock[e.obj];
-          mc.join(clk);
-        }
-        break;
-      case trace::EventKind::kThreadFork: {
-        // Child inherits the parent's knowledge as of the fork.
-        const auto child = static_cast<trace::Tid>(e.obj);
-        clock_of(child).join(clk);
-        break;
-      }
-      case trace::EventKind::kBarrier: {
-        BarrierAcc& acc = barriers[e.obj];
-        acc.arrived.push_back(e.tid);
-        acc.joined.join(clk);
-        const auto expected = static_cast<std::size_t>(e.aux);
-        if (expected > 0 && acc.arrived.size() >= expected) {
-          // Barrier complete: every participant's clock absorbs the join.
-          for (trace::Tid t : acc.arrived) clock_of(t).join(acc.joined);
-          barriers.erase(e.obj);
-        }
-        break;
-      }
-      default:
-        break;
-    }
+    stamps[i] = inc.advance(events[i]);
   }
-
   return HbIndex(std::move(events), std::move(stamps));
 }
 

@@ -1,0 +1,284 @@
+#include "src/detect/incremental.hpp"
+
+#include <algorithm>
+
+namespace home::detect {
+
+bool online_accesses_racy(DetectorMode mode, const OnlineAccess& a,
+                          const OnlineAccess& b) {
+  if (a.tid == b.tid) return false;
+  if (!a.write && !b.write) return false;
+  switch (mode) {
+    case DetectorMode::kHybrid:
+      return VectorClock::concurrent(a.stamp, b.stamp) &&
+             trace::locksets_disjoint(a.locks, b.locks);
+    case DetectorMode::kLocksetOnly:
+      return trace::locksets_disjoint(a.locks, b.locks);
+    case DetectorMode::kHbOnly:
+      return VectorClock::concurrent(a.stamp, b.stamp);
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- IncrementalHb
+
+const VectorClock& IncrementalHb::advance(const trace::Event& e) {
+  VectorClock& clk = thread_clock_[e.tid];
+
+  // Incoming edges before the stamp, mirroring HappensBeforeAnalysis.
+  switch (e.kind) {
+    case trace::EventKind::kLockAcquire:
+      if (cfg_.lock_edges) {
+        auto it = lock_clock_.find(e.obj);
+        if (it != lock_clock_.end()) clk.join(it->second);
+      }
+      break;
+    case trace::EventKind::kMsgRecv:
+      if (cfg_.message_edges) {
+        auto it = message_clock_.find(e.obj);
+        if (it != message_clock_.end()) clk.join(it->second);
+      }
+      break;
+    case trace::EventKind::kThreadJoin: {
+      const auto child = static_cast<trace::Tid>(e.obj);
+      auto it = thread_clock_.find(child);
+      if (it != thread_clock_.end()) clk.join(it->second);
+      break;
+    }
+    default:
+      break;
+  }
+
+  clk.bump(e.tid);
+  scratch_ = clk;
+
+  // Outgoing edges after the stamp.
+  switch (e.kind) {
+    case trace::EventKind::kLockRelease:
+      if (cfg_.lock_edges) lock_clock_[e.obj].join(clk);
+      break;
+    case trace::EventKind::kMsgSend:
+      if (cfg_.message_edges) message_clock_[e.obj].join(clk);
+      break;
+    case trace::EventKind::kThreadFork: {
+      const auto child = static_cast<trace::Tid>(e.obj);
+      thread_clock_[child].join(clk);
+      break;
+    }
+    case trace::EventKind::kThreadJoin: {
+      // The child's history is absorbed; it will not emit again, so its
+      // clock no longer constrains the watermark and can be reclaimed.
+      const auto child = static_cast<trace::Tid>(e.obj);
+      thread_clock_.erase(child);
+      declared_.erase(child);
+      joined_.insert(child);
+      break;
+    }
+    case trace::EventKind::kBarrier: {
+      BarrierAcc& acc = barriers_[e.obj];
+      acc.arrived.push_back(e.tid);
+      acc.joined.join(clk);
+      const auto expected = static_cast<std::size_t>(e.aux);
+      if (expected > 0 && acc.arrived.size() >= expected) {
+        for (trace::Tid t : acc.arrived) thread_clock_[t].join(acc.joined);
+        barriers_.erase(e.obj);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  return scratch_;
+}
+
+void IncrementalHb::declare_thread(trace::Tid tid) {
+  if (tid == trace::kNoTid || joined_.count(tid) > 0) return;
+  declared_.insert(tid);
+}
+
+bool IncrementalHb::watermark(VectorClock* out) const {
+  // Live threads: declared ones plus any that already stamped events.
+  bool first = true;
+  auto fold = [&](trace::Tid tid) -> bool {
+    auto it = thread_clock_.find(tid);
+    if (it == thread_clock_.end()) return false;  // silent thread: meet is 0.
+    const VectorClock& clk = it->second;
+    if (first) {
+      *out = clk;
+      first = false;
+      return true;
+    }
+    // Pointwise minimum; components beyond either clock's size read as 0.
+    const std::size_t keep = std::min(out->size(), clk.size());
+    VectorClock meet;
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto tid_i = static_cast<trace::Tid>(i);
+      meet.set(tid_i, std::min(out->get(tid_i), clk.get(tid_i)));
+    }
+    *out = std::move(meet);
+    return true;
+  };
+  for (const trace::Tid tid : declared_) {
+    if (!fold(tid)) return false;
+  }
+  for (const auto& [tid, clk] : thread_clock_) {
+    (void)clk;
+    if (declared_.count(tid) > 0) continue;
+    if (!fold(tid)) return false;
+  }
+  return !first;
+}
+
+void IncrementalHb::retire(const VectorClock& watermark) {
+  auto prune = [&watermark](std::map<trace::ObjId, VectorClock>& m) {
+    for (auto it = m.begin(); it != m.end();) {
+      if (it->second.leq(watermark)) {
+        it = m.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  prune(lock_clock_);
+  prune(message_clock_);
+}
+
+std::size_t IncrementalHb::resident_entries() const {
+  return thread_clock_.size() + lock_clock_.size() + message_clock_.size() +
+         barriers_.size();
+}
+
+const VectorClock* IncrementalHb::clock(trace::Tid tid) const {
+  auto it = thread_clock_.find(tid);
+  return it == thread_clock_.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------- IncrementalFrontier
+
+namespace {
+
+bool same_class(const OnlineAccess& a, const OnlineAccess& b) {
+  return a.write == b.write && a.locks == b.locks;
+}
+
+}  // namespace
+
+void IncrementalFrontier::on_access(trace::ObjId var,
+                                    std::shared_ptr<const OnlineAccess> rec,
+                                    std::vector<PairHit>* hits) {
+  VarMeta& meta = meta_[var];
+  if (meta.saturated) return;  // pair budget spent: the sweep has stopped.
+  VarFrontier& vf = vars_[var];
+
+  // Candidates: the other threads' frontier entries, seq-sorted and
+  // deduplicated — the exact candidate order of frontier_sweep_variable.
+  candidates_.clear();
+  for (const auto& [tid, frontier] : vf.threads) {
+    if (tid == rec->tid) continue;
+    for (const auto& c : frontier.keyed) candidates_.push_back(c);
+    for (const auto& c : frontier.recent) candidates_.push_back(c);
+  }
+  std::sort(candidates_.begin(), candidates_.end(),
+            [](const auto& a, const auto& b) { return a->seq < b->seq; });
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a->seq == b->seq;
+                                }),
+                    candidates_.end());
+
+  for (const auto& cand : candidates_) {
+    if (!online_accesses_racy(cfg_.mode, *cand, *rec)) continue;
+    meta.concurrent = true;
+    if (cfg_.max_pairs_per_var != 0 && meta.pairs >= cfg_.max_pairs_per_var) {
+      // Mirror the post-mortem early return: the budget-overflow pair is
+      // dropped and the variable is never processed again, so its frontier
+      // state can be reclaimed immediately.
+      meta.saturated = true;
+      vars_.erase(var);
+      return;
+    }
+    ++meta.pairs;
+    if (hits) hits->push_back(PairHit{cand, rec});
+  }
+
+  // Advance this thread's frontier.
+  ThreadFrontier& mine = vf.threads[rec->tid];
+  bool replaced = false;
+  for (auto& k : mine.keyed) {
+    if (same_class(*k, *rec)) {
+      k = rec;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) mine.keyed.push_back(rec);
+  if (cfg_.frontier_history > 0) {
+    if (mine.recent.size() < cfg_.frontier_history) {
+      mine.recent.push_back(std::move(rec));
+    } else {
+      mine.recent[mine.recent_next] = std::move(rec);
+      mine.recent_next = (mine.recent_next + 1) % cfg_.frontier_history;
+    }
+  }
+}
+
+std::size_t IncrementalFrontier::retire(const VectorClock& watermark) {
+  std::size_t reclaimed = 0;
+  auto dominated = [&watermark](const std::shared_ptr<const OnlineAccess>& r) {
+    return r->stamp.leq(watermark);
+  };
+  for (auto vit = vars_.begin(); vit != vars_.end();) {
+    VarFrontier& vf = vit->second;
+    for (auto tit = vf.threads.begin(); tit != vf.threads.end();) {
+      ThreadFrontier& tf = tit->second;
+      const std::size_t before = tf.keyed.size() + tf.recent.size();
+      tf.keyed.erase(std::remove_if(tf.keyed.begin(), tf.keyed.end(), dominated),
+                     tf.keyed.end());
+      const std::size_t recent_before = tf.recent.size();
+      tf.recent.erase(
+          std::remove_if(tf.recent.begin(), tf.recent.end(), dominated),
+          tf.recent.end());
+      if (tf.recent.size() != recent_before) {
+        // Survivors back to seq order with the overwrite cursor at the
+        // oldest slot: the ring keeps holding the most recent accesses in
+        // cyclic order, exactly like the post-mortem ring minus the retired
+        // (forever HB-ordered) entries.
+        std::sort(tf.recent.begin(), tf.recent.end(),
+                  [](const auto& a, const auto& b) { return a->seq < b->seq; });
+        tf.recent_next = 0;
+      }
+      reclaimed += before - (tf.keyed.size() + tf.recent.size());
+      if (tf.keyed.empty() && tf.recent.empty()) {
+        tit = vf.threads.erase(tit);
+      } else {
+        ++tit;
+      }
+    }
+    if (vf.threads.empty()) {
+      vit = vars_.erase(vit);
+    } else {
+      ++vit;
+    }
+  }
+  return reclaimed;
+}
+
+bool IncrementalFrontier::concurrent(trace::ObjId var) const {
+  auto it = meta_.find(var);
+  return it != meta_.end() && it->second.concurrent;
+}
+
+std::size_t IncrementalFrontier::resident_records() const {
+  std::size_t n = 0;
+  for (const auto& [var, vf] : vars_) {
+    (void)var;
+    for (const auto& [tid, tf] : vf.threads) {
+      (void)tid;
+      n += tf.keyed.size() + tf.recent.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace home::detect

@@ -1,0 +1,166 @@
+// Incremental (streaming) counterparts of the post-mortem detection passes.
+//
+// The post-mortem pipeline buffers the whole trace, replays it through
+// HappensBeforeAnalysis, then sweeps each variable's accesses with the
+// frontier engine.  The online engine (src/online/) cannot afford either
+// buffer: it consumes one event at a time and must keep resident state
+// bounded on arbitrarily long runs.  This header provides the two stateful
+// pieces that make that possible:
+//
+//   * IncrementalHb — the event-at-a-time form of HappensBeforeAnalysis.
+//     `advance(e)` applies e's incoming edges, bumps the thread clock, stamps
+//     e, and applies its outgoing edges; feeding a seq-sorted stream through
+//     advance() yields exactly the stamps HappensBeforeAnalysis::run()
+//     computes (run() is in fact implemented on top of advance()).  It also
+//     tracks which threads may still emit (declared minus joined), which
+//     yields the retirement watermark below.
+//
+//   * IncrementalFrontier — the streaming form of frontier_sweep_variable:
+//     per-variable, per-thread frontiers of maximal (kind, lockset) classes
+//     plus the recent-access ring, fed one access at a time.  New racy pairs
+//     are surfaced immediately instead of collected in a verdict.
+//
+// Epoch-based retirement: a retained record with stamp V can never race any
+// future event once every thread that may still emit has a clock >= V —
+// every future stamp then dominates V, so the pair is HB-ordered.  The meet
+// of the live threads' clocks (`IncrementalHb::watermark`) is therefore a
+// sound retirement bound for every HB-based DetectorMode; records at or
+// below it are reclaimed.  kLocksetOnly ignores HB, so retirement is
+// disabled there (callers simply skip retire()).  The watermark is
+// conservative: a declared thread that has not stamped anything yet pins it
+// at zero, and a thread that stops emitting without being joined freezes it
+// at its last clock.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/detect/happens_before.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/detect/vector_clock.hpp"
+#include "src/trace/event.hpp"
+
+namespace home::detect {
+
+/// One access retained by the streaming frontier: the slice of the original
+/// Event the race predicate and the violation matcher need, plus the HB
+/// stamp, plus the aux-linked MPI call event (shared so the record can
+/// outlive the analyzer's call table).
+struct OnlineAccess {
+  trace::Seq seq = 0;
+  trace::Tid tid = trace::kNoTid;
+  bool write = false;
+  std::vector<trace::ObjId> locks;
+  VectorClock stamp;
+  std::shared_ptr<const trace::Event> call;  ///< may be null (unlinked access).
+};
+
+/// The pairwise racy-access predicate of `accesses_racy`, over retained
+/// records instead of HbIndex positions.
+bool online_accesses_racy(DetectorMode mode, const OnlineAccess& a,
+                          const OnlineAccess& b);
+
+class IncrementalHb {
+ public:
+  explicit IncrementalHb(HappensBeforeConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Apply e's incoming HB edges, bump e.tid's clock, and apply e's outgoing
+  /// edges.  Returns the stamp of e (valid until the next advance()).
+  /// Events must be fed in seq order.
+  const VectorClock& advance(const trace::Event& e);
+
+  /// Declare a thread that may emit events (typically every registry tid).
+  /// Idempotent; threads retired by a kThreadJoin stay retired.
+  void declare_thread(trace::Tid tid);
+
+  /// The retirement watermark: pointwise meet of every live (declared or
+  /// observed, not joined) thread's clock.  Returns false when some live
+  /// thread has not stamped anything yet — the meet is zero and nothing can
+  /// be retired.
+  bool watermark(VectorClock* out) const;
+
+  /// Reclaim synchronization state that can no longer order anything: lock
+  /// and message clocks at or below the watermark (joining them into any
+  /// future stamp is a no-op).  Barrier accumulators are kept — an
+  /// in-flight barrier still owes its arrivals a join.
+  void retire(const VectorClock& watermark);
+
+  /// Retained lock/message/barrier entries plus thread clocks (diagnostic;
+  /// feeds the bounded-memory accounting).
+  std::size_t resident_entries() const;
+
+  const VectorClock* clock(trace::Tid tid) const;
+
+ private:
+  struct BarrierAcc {
+    std::vector<trace::Tid> arrived;
+    VectorClock joined;
+  };
+
+  HappensBeforeConfig cfg_;
+  std::map<trace::Tid, VectorClock> thread_clock_;
+  std::map<trace::ObjId, VectorClock> lock_clock_;
+  std::map<trace::ObjId, VectorClock> message_clock_;
+  std::map<trace::ObjId, BarrierAcc> barriers_;
+  std::set<trace::Tid> declared_;
+  std::set<trace::Tid> joined_;
+  VectorClock scratch_;  ///< stamp storage returned by advance().
+};
+
+/// Per-variable verdict metadata that must survive frontier retirement (the
+/// verdict and the pair budget are cumulative over the whole run).
+struct VarMeta {
+  bool concurrent = false;
+  std::size_t pairs = 0;
+  /// Pair budget spent: the post-mortem sweep stops processing the variable
+  /// entirely at this point, so the streaming engine does too.
+  bool saturated = false;
+};
+
+class IncrementalFrontier {
+ public:
+  explicit IncrementalFrontier(const RaceDetectorConfig& cfg) : cfg_(cfg) {}
+
+  /// A newly detected racy pair; `first` is the older access.
+  struct PairHit {
+    std::shared_ptr<const OnlineAccess> first;
+    std::shared_ptr<const OnlineAccess> second;
+  };
+
+  /// Feed one access of `var` (records must arrive in seq order across the
+  /// whole stream).  New racy pairs are appended to `hits` in the same order
+  /// the post-mortem frontier sweep reports them.
+  void on_access(trace::ObjId var, std::shared_ptr<const OnlineAccess> rec,
+                 std::vector<PairHit>* hits);
+
+  /// Drop frontier records at or below the watermark.  Sound for HB-based
+  /// modes only; the caller must not retire under kLocksetOnly.
+  /// Returns the number of records reclaimed.
+  std::size_t retire(const VectorClock& watermark);
+
+  bool concurrent(trace::ObjId var) const;
+  const std::map<trace::ObjId, VarMeta>& meta() const { return meta_; }
+
+  /// Access records currently resident across all variables.
+  std::size_t resident_records() const;
+
+ private:
+  struct ThreadFrontier {
+    std::vector<std::shared_ptr<const OnlineAccess>> keyed;
+    std::vector<std::shared_ptr<const OnlineAccess>> recent;
+    std::size_t recent_next = 0;
+  };
+  struct VarFrontier {
+    std::map<trace::Tid, ThreadFrontier> threads;
+  };
+
+  RaceDetectorConfig cfg_;
+  std::map<trace::ObjId, VarFrontier> vars_;
+  std::map<trace::ObjId, VarMeta> meta_;
+  std::vector<std::shared_ptr<const OnlineAccess>> candidates_;  ///< scratch.
+};
+
+}  // namespace home::detect

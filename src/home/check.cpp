@@ -26,6 +26,10 @@ CheckResult check_program(const CheckConfig& cfg,
   result.run = universe.run(rank_main);
   session.detach(universe);
   result.report = session.analyze();
+  result.reconciliation = session.reconciliation();
+  if (session.online_analyzer() != nullptr) {
+    result.online_stats = session.online_analyzer()->stats();
+  }
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "src/home/session.hpp"
 
+#include <set>
+
 #include "src/homp/runtime.hpp"
 #include "src/spec/matcher.hpp"
 #include "src/spec/monitored.hpp"
@@ -26,12 +28,28 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
 
 Session::~Session() {
   if (attached_) homp::clear_instrumentation();
+  // Unsubscribe before the analyzer (declared after log_) is destroyed.
+  log_.set_sink(nullptr);
 }
 
 void Session::configure(simmpi::UniverseConfig& ucfg) {
   ucfg.log = &log_;
   ucfg.registry = &registry_;
   ucfg.emit_message_edges = cfg_.message_edges;
+  if (cfg_.mode == AnalysisMode::kOnline && !analyzer_) {
+    online::OnlineConfig ocfg;
+    ocfg.detector = make_detector_config(cfg_);
+    ocfg.queue_capacity = cfg_.online.queue_capacity;
+    ocfg.backpressure = cfg_.online.backpressure;
+    ocfg.retire_interval = cfg_.online.retire_interval;
+    ocfg.stream.max_live_reports_per_type =
+        cfg_.online.max_live_reports_per_type;
+    ocfg.stream.on_violation = cfg_.online.on_violation;
+    analyzer_ = std::make_unique<online::OnlineAnalyzer>(
+        std::move(ocfg), &log_.strings(), &registry_);
+    log_.set_streaming_only(!cfg_.online.retain_trace);
+    log_.set_sink(analyzer_.get());
+  }
 }
 
 void Session::attach(simmpi::Universe& universe) {
@@ -58,6 +76,10 @@ std::vector<spec::MessageRace> Session::message_races() {
 }
 
 Report Session::analyze() {
+  if (cfg_.mode == AnalysisMode::kOnline && analyzer_) {
+    return analyze_online();
+  }
+
   util::Stopwatch timer;
 
   detect::RaceDetector detector(make_detector_config(cfg_));
@@ -78,6 +100,55 @@ Report Session::analyze() {
   }
   stats.analysis_seconds = timer.elapsed_seconds();
 
+  return Report(std::move(violations), stats);
+}
+
+Report Session::analyze_online() {
+  util::Stopwatch timer;
+
+  // Stop subscribing and drain the streaming engine.
+  log_.set_sink(nullptr);
+  analyzer_->finish();
+  std::vector<spec::Violation> violations = analyzer_->violations();
+  const online::OnlineStats ostats = analyzer_->stats();
+
+  if (cfg_.online.reconcile && cfg_.online.retain_trace) {
+    // Cross-check: the post-mortem pipeline over the very same trace must
+    // agree with the streamed verdicts (violation_key identity).
+    detect::RaceDetector detector(make_detector_config(cfg_));
+    detect::ConcurrencyReport concurrency =
+        detector.analyze(log_.sorted_events());
+    spec::Matcher matcher(&log_.strings());
+    std::vector<spec::Violation> post_mortem = matcher.match(concurrency);
+
+    std::set<std::string> online_keys;
+    for (const spec::Violation& v : violations) {
+      online_keys.insert(spec::violation_key(v));
+    }
+    std::set<std::string> post_keys;
+    for (const spec::Violation& v : post_mortem) {
+      post_keys.insert(spec::violation_key(v));
+    }
+    reconciliation_ = Reconciliation{};
+    reconciliation_.ran = true;
+    for (const std::string& k : online_keys) {
+      if (post_keys.count(k) == 0) reconciliation_.online_only.push_back(k);
+    }
+    for (const std::string& k : post_keys) {
+      if (online_keys.count(k) == 0) reconciliation_.post_mortem_only.push_back(k);
+    }
+    reconciliation_.equivalent = reconciliation_.online_only.empty() &&
+                                 reconciliation_.post_mortem_only.empty();
+  }
+
+  ReportStats stats;
+  stats.trace_events = ostats.events_processed;
+  stats.instrumented_calls = wrappers_->instrumented_calls();
+  stats.skipped_calls = wrappers_->skipped_calls();
+  stats.monitored_variables = ostats.monitored_variables;
+  stats.concurrent_variables = ostats.concurrent_variables;
+  stats.concurrent_pairs = ostats.concurrent_pairs;
+  stats.analysis_seconds = timer.elapsed_seconds();
   return Report(std::move(violations), stats);
 }
 

@@ -19,10 +19,43 @@
 #include "src/detect/race_detector.hpp"
 #include "src/home/report.hpp"
 #include "src/home/wrappers.hpp"
+#include "src/online/online_analyzer.hpp"
 #include "src/simmpi/universe.hpp"
 #include "src/spec/message_race.hpp"
 
 namespace home {
+
+/// When the detection pipeline runs relative to the program.
+enum class AnalysisMode {
+  kPostMortem,  ///< buffer the trace, analyze after the run (default).
+  kOnline,      ///< stream events into the OnlineAnalyzer during the run.
+};
+
+/// Knobs for AnalysisMode::kOnline.
+struct OnlineOptions {
+  std::size_t queue_capacity = 4096;
+  online::BackpressurePolicy backpressure = online::BackpressurePolicy::kBlock;
+  /// Events between epoch-retirement sweeps; 0 disables retirement.
+  std::size_t retire_interval = 1024;
+  /// Keep the trace in the log alongside streaming (needed for end-of-run
+  /// reconciliation and save_trace; turn off for unbounded runs).
+  bool retain_trace = true;
+  /// Cross-check online verdicts against the post-mortem pipeline at
+  /// analyze() time (requires retain_trace).
+  bool reconcile = true;
+  std::size_t max_live_reports_per_type = 16;
+  /// Live first-occurrence reports, invoked on the analysis thread.
+  std::function<void(const spec::Violation&)> on_violation;
+};
+
+/// Outcome of the online-vs-post-mortem cross-check.
+struct Reconciliation {
+  bool ran = false;
+  /// Same violation-key set on both sides.
+  bool equivalent = false;
+  std::vector<std::string> online_only;
+  std::vector<std::string> post_mortem_only;
+};
 
 struct SessionConfig {
   detect::DetectorMode detector = detect::DetectorMode::kHybrid;
@@ -38,6 +71,9 @@ struct SessionConfig {
   /// Worker threads for the per-variable analysis; 0 = auto
   /// (hardware_concurrency), 1 = serial.
   std::size_t analysis_threads = 0;
+  /// Post-mortem (default) or streaming detection during the run.
+  AnalysisMode mode = AnalysisMode::kPostMortem;
+  OnlineOptions online;
 };
 
 /// The detector knobs a SessionConfig implies (shared by the live and the
@@ -59,9 +95,18 @@ class Session {
   void attach(simmpi::Universe& universe);
   void detach(simmpi::Universe& universe);
 
-  /// Run the offline pipeline: hybrid race detection over the monitored
-  /// variables, then thread-safety matching.
+  /// Produce the violation report.  Post-mortem mode runs the offline
+  /// pipeline (race detection over the monitored variables, then matching);
+  /// online mode drains the streaming analyzer and, when configured,
+  /// reconciles its verdicts against a post-mortem pass over the same trace.
   Report analyze();
+
+  /// Result of the online-vs-post-mortem cross-check (ran=false unless
+  /// analyze() executed in online mode with reconcile+retain_trace).
+  const Reconciliation& reconciliation() const { return reconciliation_; }
+
+  /// The streaming engine (null in post-mortem mode or before configure()).
+  online::OnlineAnalyzer* online_analyzer() { return analyzer_.get(); }
 
   /// Persist this session's execution log for later offline analysis.
   void save_trace(const std::string& path) const;
@@ -76,10 +121,16 @@ class Session {
   const SessionConfig& config() const { return cfg_; }
 
  private:
+  Report analyze_online();
+
   SessionConfig cfg_;
   trace::TraceLog log_;
   trace::ThreadRegistry registry_;
   std::unique_ptr<HomeWrappers> wrappers_;
+  /// Declared after log_ so it is destroyed first (it joins its analysis
+  /// thread while the log it subscribes to is still alive).
+  std::unique_ptr<online::OnlineAnalyzer> analyzer_;
+  Reconciliation reconciliation_;
   bool attached_ = false;
 };
 

@@ -1,0 +1,64 @@
+#include "src/online/event_queue.hpp"
+
+namespace home::online {
+
+const char* backpressure_policy_name(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropNewest: return "drop-newest";
+  }
+  return "?";
+}
+
+bool EventQueue::push(trace::Event e) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (policy_ == BackpressurePolicy::kBlock) {
+    not_full_.wait(lock, [this] { return q_.size() < capacity_ || closed_; });
+  }
+  if (closed_ || q_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  q_.push_back(std::move(e));
+  max_depth_ = std::max(max_depth_, q_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool EventQueue::pop(trace::Event* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) return false;
+  *out = std::move(q_.front());
+  q_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t EventQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t EventQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+std::size_t EventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+}  // namespace home::online

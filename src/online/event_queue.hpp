@@ -1,0 +1,63 @@
+// Bounded MPMC handoff between the instrumented application threads
+// (producers, via TraceLog's EventSink) and the OnlineAnalyzer's analysis
+// thread (the single consumer).
+//
+// Backpressure policy when the queue is full:
+//   * kBlock — the emitting thread waits for space.  This is the default and
+//     the only policy under which the online verdicts are provably identical
+//     to the post-mortem ones: no event is ever lost.  The consumer never
+//     emits trace events, so blocking cannot deadlock.
+//   * kDropNewest — the incoming event is discarded and counted.  Keeps the
+//     application unthrottled at the cost of completeness (online verdicts
+//     become a subset); reconciliation reports the gap.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "src/trace/event.hpp"
+
+namespace home::online {
+
+enum class BackpressurePolicy {
+  kBlock,       ///< producer waits for space (lossless, default).
+  kDropNewest,  ///< discard the incoming event and count it.
+};
+
+const char* backpressure_policy_name(BackpressurePolicy policy);
+
+class EventQueue {
+ public:
+  EventQueue(std::size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Enqueue one event.  Returns false if the event was dropped (kDropNewest
+  /// on a full queue) or the queue is closed.
+  bool push(trace::Event e);
+
+  /// Dequeue one event, blocking while the queue is open and empty.
+  /// Returns false once the queue is closed and drained.
+  bool pop(trace::Event* out);
+
+  /// No more pushes; pending events remain poppable.
+  void close();
+
+  std::size_t dropped() const;
+  std::size_t max_depth() const;
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<trace::Event> q_;
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  bool closed_ = false;
+  std::size_t dropped_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace home::online

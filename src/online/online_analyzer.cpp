@@ -1,0 +1,172 @@
+#include "src/online/online_analyzer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/spec/monitored.hpp"
+
+namespace home::online {
+
+namespace {
+
+detect::HappensBeforeConfig hb_config_for(const detect::RaceDetectorConfig& d) {
+  // Mirror RaceDetector::analyze: lock edges only under the pure-HB
+  // ablation; message edges always modeled (emission is gated upstream).
+  detect::HappensBeforeConfig hb;
+  hb.lock_edges = (d.mode == detect::DetectorMode::kHbOnly);
+  hb.message_edges = true;
+  return hb;
+}
+
+}  // namespace
+
+OnlineAnalyzer::OnlineAnalyzer(OnlineConfig cfg,
+                               const trace::StringTable* strings,
+                               const trace::ThreadRegistry* registry)
+    : cfg_(std::move(cfg)),
+      registry_(registry),
+      queue_(cfg_.queue_capacity, cfg_.backpressure),
+      stream_(cfg_.stream),
+      hb_(hb_config_for(cfg_.detector)),
+      frontier_(cfg_.detector),
+      matcher_(strings, [this](spec::Violation&& v) {
+        stream_.offer(std::move(v));
+      }) {
+  worker_ = std::thread([this] { run(); });
+}
+
+OnlineAnalyzer::~OnlineAnalyzer() { finish(); }
+
+void OnlineAnalyzer::on_event(const trace::Event& e) { queue_.push(e); }
+
+void OnlineAnalyzer::run() {
+  trace::Event e;
+  while (queue_.pop(&e)) process(e);
+}
+
+void OnlineAnalyzer::process(const trace::Event& e) {
+  const detect::VectorClock& stamp = hb_.advance(e);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.events_processed;
+  }
+
+  switch (e.kind) {
+    case trace::EventKind::kMpiCall: {
+      auto call = std::make_shared<const trace::Event>(e);
+      // This thread's earlier call can no longer be referenced: its
+      // monitored writes all precede the next call in program order.
+      auto last = last_call_of_tid_.find(e.tid);
+      if (last != last_call_of_tid_.end()) calls_pending_.erase(last->second);
+      last_call_of_tid_[e.tid] = e.seq;
+      calls_pending_[e.seq] = call;
+      matcher_.on_call(call, stamp);
+      break;
+    }
+    case trace::EventKind::kRegionBegin:
+      matcher_.on_region_begin(e);
+      break;
+    default:
+      break;
+  }
+
+  if (e.is_access()) {
+    auto rec = std::make_shared<detect::OnlineAccess>();
+    rec->seq = e.seq;
+    rec->tid = e.tid;
+    rec->write = e.is_write();
+    rec->locks = e.locks_held;
+    rec->stamp = stamp;
+    if (e.aux != 0) {
+      auto it = calls_pending_.find(static_cast<trace::Seq>(e.aux));
+      if (it != calls_pending_.end()) rec->call = it->second;
+    }
+    hits_.clear();
+    frontier_.on_access(e.obj, std::move(rec), &hits_);
+    if (!hits_.empty() && spec::is_monitored_var(e.obj)) {
+      for (const auto& hit : hits_) {
+        matcher_.on_concurrent_pair(e.obj, *hit.first, *hit.second);
+      }
+    }
+  }
+
+  checkpoint();
+}
+
+void OnlineAnalyzer::checkpoint() {
+  const std::size_t interval =
+      cfg_.retire_interval == 0 ? 1024 : cfg_.retire_interval;
+  if (++events_since_checkpoint_ < interval) return;
+  events_since_checkpoint_ = 0;
+
+  const std::size_t resident = resident_state();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.peak_resident = std::max(stats_.peak_resident, resident);
+  }
+
+  if (cfg_.retire_interval == 0) return;
+  // A lockset-only race does not care about happens-before, so no HB
+  // watermark can justify dropping a frontier record in that mode.
+  if (cfg_.detector.mode == detect::DetectorMode::kLocksetOnly) return;
+
+  if (registry_ != nullptr) {
+    const int n = registry_->thread_count();
+    for (int t = 0; t < n; ++t) hb_.declare_thread(static_cast<trace::Tid>(t));
+  }
+  detect::VectorClock watermark;
+  if (!hb_.watermark(&watermark)) return;
+
+  const std::size_t reclaimed = frontier_.retire(watermark);
+  hb_.retire(watermark);
+  matcher_.retire(watermark);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.retire_sweeps;
+    stats_.records_retired += reclaimed;
+  }
+}
+
+void OnlineAnalyzer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+
+  const std::size_t resident = resident_state();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.final_resident = resident;
+  stats_.peak_resident = std::max(stats_.peak_resident, resident);
+  for (const auto& [var, meta] : frontier_.meta()) {
+    if (!spec::is_monitored_var(var)) continue;
+    ++stats_.monitored_variables;
+    if (meta.concurrent) ++stats_.concurrent_variables;
+    stats_.concurrent_pairs += meta.pairs;
+  }
+}
+
+std::vector<spec::Violation> OnlineAnalyzer::violations() {
+  return stream_.take();
+}
+
+OnlineStats OnlineAnalyzer::stats() const {
+  OnlineStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.events_dropped = queue_.dropped();
+  out.max_queue_depth = queue_.max_depth();
+  out.violations = stream_.recorded();
+  out.duplicate_reports = stream_.duplicates();
+  out.live_reports = stream_.live_reports();
+  out.suppressed_reports = stream_.suppressed();
+  return out;
+}
+
+std::size_t OnlineAnalyzer::resident_state() const {
+  return frontier_.resident_records() + hb_.resident_entries() +
+         matcher_.resident_calls() + calls_pending_.size();
+}
+
+}  // namespace home::online

@@ -2,9 +2,9 @@
 
 #include <map>
 #include <set>
-#include <sstream>
 
 #include "src/simmpi/types.hpp"
+#include "src/spec/rules.hpp"
 
 namespace home::spec {
 namespace {
@@ -15,11 +15,6 @@ using trace::Event;
 using trace::MpiCallType;
 
 bool is_wildcard(int v) { return v < 0; }
-
-std::string label(const trace::StringTable* strings, const Event& call) {
-  if (!strings || !call.mpi || call.mpi->callsite == 0) return "";
-  return strings->lookup(call.mpi->callsite);
-}
 
 /// Everything the matcher aggregates per rank in one scan of the trace.
 struct RankFacts {
@@ -77,15 +72,10 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
       ++stats_.violations;
     }
   };
-
-  auto fill_pair = [&](Violation& v, const Event& c1, const Event& c2) {
-    v.rank = c1.rank;
-    v.tid1 = c1.tid;
-    v.tid2 = c2.tid;
-    v.call1 = c1.seq;
-    v.call2 = c2.seq;
-    v.callsite1 = label(strings_, c1);
-    v.callsite2 = label(strings_, c2);
+  std::vector<Violation> scratch;
+  auto add_all = [&](std::vector<Violation>& vs) {
+    for (Violation& v : vs) add(std::move(v));
+    vs.clear();
   };
 
   // --- pair rules: V3 ConcurrentRecv, V4 ConcurrentRequest, V5 Probe,
@@ -110,73 +100,8 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
       const Event& c2 = events[i2];
       if (!c1.mpi || !c2.mpi || c1.tid == c2.tid) continue;
       ++stats_.call_pairs;
-      const trace::MpiCallInfo& m1 = *c1.mpi;
-      const trace::MpiCallInfo& m2 = *c2.mpi;
-
-      if (kind == MonitoredVar::kSrcTmp) {
-        // V3: both receives, same (source, tag, comm).
-        if (trace::is_receive(m1.type) && trace::is_receive(m2.type) &&
-            m1.comm == m2.comm && args_overlap(m1.peer, m2.peer) &&
-            args_overlap(m1.tag, m2.tag)) {
-          Violation v;
-          v.type = ViolationType::kConcurrentRecv;
-          fill_pair(v, c1, c2);
-          std::ostringstream os;
-          os << "two threads receive with source=" << m1.peer
-             << " tag=" << m1.tag << " comm=" << m1.comm
-             << "; message-to-thread matching is undefined";
-          v.detail = os.str();
-          add(std::move(v));
-        }
-        // V5: a probe concurrent with a probe or receive, same (source, tag)
-        // on the same communicator.
-        const bool p1 = trace::is_probe(m1.type);
-        const bool p2 = trace::is_probe(m2.type);
-        if ((p1 || p2) && (p1 ? (p2 || trace::is_receive(m2.type))
-                              : trace::is_receive(m1.type)) &&
-            m1.comm == m2.comm && args_overlap(m1.peer, m2.peer) &&
-            args_overlap(m1.tag, m2.tag)) {
-          Violation v;
-          v.type = ViolationType::kProbe;
-          fill_pair(v, c1, c2);
-          std::ostringstream os;
-          os << trace::mpi_call_type_name(m1.type) << " and "
-             << trace::mpi_call_type_name(m2.type)
-             << " race on source=" << m1.peer << " tag=" << m1.tag
-             << " comm=" << m1.comm;
-          v.detail = os.str();
-          add(std::move(v));
-        }
-      } else if (kind == MonitoredVar::kRequestTmp) {
-        // V4: both Wait/Test on the same request object.
-        if (trace::is_request_completion(m1.type) &&
-            trace::is_request_completion(m2.type) && m1.request == m2.request &&
-            m1.request != 0) {
-          Violation v;
-          v.type = ViolationType::kConcurrentRequest;
-          fill_pair(v, c1, c2);
-          std::ostringstream os;
-          os << trace::mpi_call_type_name(m1.type) << " and "
-             << trace::mpi_call_type_name(m2.type)
-             << " complete the same request " << m1.request;
-          v.detail = os.str();
-          add(std::move(v));
-        }
-      } else if (kind == MonitoredVar::kCollectiveTmp) {
-        // V6: two concurrent collectives on the same communicator.
-        if (trace::is_collective(m1.type) && trace::is_collective(m2.type) &&
-            m1.comm == m2.comm) {
-          Violation v;
-          v.type = ViolationType::kCollectiveCall;
-          fill_pair(v, c1, c2);
-          std::ostringstream os;
-          os << trace::mpi_call_type_name(m1.type) << " and "
-             << trace::mpi_call_type_name(m2.type)
-             << " concurrently use comm " << m1.comm;
-          v.detail = os.str();
-          add(std::move(v));
-        }
-      }
+      rules::match_call_pair(kind, c1, c2, strings_, &scratch);
+      add_all(scratch);
     }
   }
 
@@ -186,30 +111,14 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
     switch (facts.provided) {
       case simmpi::ThreadLevel::kSingle:
         if (facts.parallel_region) {
-          Violation v;
-          v.type = ViolationType::kInitialization;
-          v.rank = rank;
-          std::ostringstream os;
-          os << "provided level is MPI_THREAD_SINGLE"
-             << (facts.used_init_thread ? "" : " (plain MPI_Init)")
-             << " but the rank opens an OpenMP parallel region";
-          v.detail = os.str();
-          add(std::move(v));
+          add(rules::single_with_parallel_region(rank, facts.used_init_thread));
         }
         break;
       case simmpi::ThreadLevel::kFunneled:
         for (std::size_t i : facts.call_events) {
           const Event& c = events[i];
           if (c.mpi && !c.mpi->on_main_thread) {
-            Violation v;
-            v.type = ViolationType::kInitialization;
-            v.rank = rank;
-            v.tid1 = c.tid;
-            v.call1 = c.seq;
-            v.callsite1 = label(strings_, c);
-            v.detail = std::string(trace::mpi_call_type_name(c.mpi->type)) +
-                       " issued off the main thread under MPI_THREAD_FUNNELED";
-            add(std::move(v));
+            add(rules::funneled_off_main(c, strings_));
           }
         }
         break;
@@ -222,15 +131,8 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
           const detect::VariableVerdict* verdict = report.verdict(var);
           if (verdict && verdict->concurrent && !verdict->pairs.empty()) {
             const detect::ConcurrentPair& pair = verdict->pairs.front();
-            Violation v;
-            v.type = ViolationType::kInitialization;
-            v.rank = rank;
-            v.tid1 = pair.tid1;
-            v.tid2 = pair.tid2;
-            v.detail = std::string("concurrent MPI calls (") +
-                       monitored_var_name(static_cast<MonitoredVar>(k)) +
-                       ") under MPI_THREAD_SERIALIZED";
-            add(std::move(v));
+            add(rules::serialized_concurrent(rank, static_cast<MonitoredVar>(k),
+                                             pair.tid1, pair.tid2));
             break;  // one report per rank is enough for V1/SERIALIZED.
           }
         }
@@ -243,17 +145,11 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
 
   // --- V2 Finalization, per rank --------------------------------------------
   for (auto& [rank, facts] : ranks) {
+    (void)rank;
     for (std::size_t fi : facts.finalize_events) {
       const Event& fin = events[fi];
       if (fin.mpi && !fin.mpi->on_main_thread) {
-        Violation v;
-        v.type = ViolationType::kFinalization;
-        v.rank = rank;
-        v.tid1 = fin.tid;
-        v.call1 = fin.seq;
-        v.callsite1 = label(strings_, fin);
-        v.detail = "MPI_Finalize called off the main thread";
-        add(std::move(v));
+        add(rules::finalize_off_main(fin, strings_));
       }
       for (std::size_t ci : facts.call_events) {
         if (ci == fi) continue;
@@ -262,24 +158,14 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
         if (call.tid == fin.tid) {
           // Program order: a call after finalize on the same thread.
           if (call.seq > fin.seq) {
-            Violation v;
-            v.type = ViolationType::kFinalization;
-            fill_pair(v, fin, call);
-            v.detail = std::string(trace::mpi_call_type_name(call.mpi->type)) +
-                       " issued after MPI_Finalize";
-            add(std::move(v));
+            add(rules::call_after_finalize(fin, call, strings_));
           }
           continue;
         }
         // Cross-thread: a call concurrent with or after finalize means the
         // rank finalized with communication pending on another thread.
         if (hb.concurrent(fi, ci) || hb.ordered(fi, ci)) {
-          Violation v;
-          v.type = ViolationType::kFinalization;
-          fill_pair(v, fin, call);
-          v.detail = std::string(trace::mpi_call_type_name(call.mpi->type)) +
-                     " on another thread is not ordered before MPI_Finalize";
-          add(std::move(v));
+          add(rules::finalize_unordered(fin, call, strings_));
         }
       }
     }

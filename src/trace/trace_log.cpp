@@ -71,17 +71,53 @@ TraceLog::Shard* TraceLog::shard_for_this_thread() {
 }
 
 Seq TraceLog::emit(Event e) {
-  Shard* shard = shard_for_this_thread();
+  EventSink* sink = sink_.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    Shard* shard = shard_for_this_thread();
+    const Seq seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    e.seq = seq;
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->events.push_back(std::move(e));
+    return seq;
+  }
+  // With a subscriber, seq assignment and delivery serialize under one mutex:
+  // two emitters could otherwise draw seqs s < s' yet publish s' first, and a
+  // streaming consumer (unlike sorted_events) cannot re-sort the past.
+  Shard* shard = streaming_only_.load(std::memory_order_relaxed)
+                     ? nullptr
+                     : shard_for_this_thread();
+  std::lock_guard<std::mutex> publish(publish_mu_);
   const Seq seq = seq_.fetch_add(1, std::memory_order_relaxed);
   e.seq = seq;
-  std::lock_guard<std::mutex> lock(shard->mu);
-  shard->events.push_back(std::move(e));
+  if (shard != nullptr) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->events.push_back(e);
+  }
+  sink->on_event(e);
   return seq;
 }
 
-std::vector<Event> TraceLog::sorted_events() const {
-  // Snapshot every shard.  Each run is seq-sorted by construction: a shard is
-  // only appended to by its owning thread, which stamps and pushes in order.
+void TraceLog::set_sink(EventSink* sink) {
+  // The publish lock flushes any delivery in flight, so after set_sink()
+  // returns no emitter is still inside the previous sink.
+  std::lock_guard<std::mutex> publish(publish_mu_);
+  sink_.store(sink, std::memory_order_release);
+}
+
+bool TraceLog::has_sink() const {
+  return sink_.load(std::memory_order_acquire) != nullptr;
+}
+
+void TraceLog::set_streaming_only(bool on) {
+  streaming_only_.store(on, std::memory_order_relaxed);
+}
+
+std::vector<Event> TraceLog::sorted_events() const { return drain_since(0); }
+
+std::vector<Event> TraceLog::drain_since(Seq after) const {
+  // Snapshot every shard's suffix past `after`.  Each run is seq-sorted by
+  // construction: a shard is only appended to by its owning thread, which
+  // stamps and pushes in order — so the cut point is a binary search.
   std::vector<std::vector<Event>> runs;
   std::size_t total = 0;
   {
@@ -89,8 +125,15 @@ std::vector<Event> TraceLog::sorted_events() const {
     runs.reserve(shards_.size());
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> slock(shard->mu);
-      if (shard->events.empty()) continue;
-      runs.push_back(shard->events);
+      const auto& events = shard->events;
+      auto first = after == 0
+                       ? events.begin()
+                       : std::upper_bound(events.begin(), events.end(), after,
+                                          [](Seq s, const Event& e) {
+                                            return s < e.seq;
+                                          });
+      if (first == events.end()) continue;
+      runs.emplace_back(first, events.end());
       total += runs.back().size();
     }
   }

@@ -48,6 +48,17 @@ class StringTable {
   std::unordered_map<std::string, std::uint32_t> index_{{"", 0}};
 };
 
+/// Streaming subscriber: receives every event at emit time, already stamped,
+/// in strictly increasing seq order (delivery is serialized with seq
+/// assignment).  on_event() runs on the emitting thread and may block — a
+/// blocking sink is how bounded-queue backpressure reaches the wrappers.
+/// The sink must never emit into the same log (self-deadlock).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
 class TraceLog {
  public:
   TraceLog();
@@ -62,8 +73,26 @@ class TraceLog {
   /// Next sequence stamp without recording an event (for interval markers).
   Seq next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Install (or clear, with nullptr) the streaming subscriber.  Install
+  /// before emission starts and clear only after emitters have quiesced: the
+  /// ordering guarantee covers events emitted while the sink is set, and the
+  /// sink object must outlive any in-flight emit().
+  void set_sink(EventSink* sink);
+  bool has_sink() const;
+
+  /// Streaming-only mode: emit() delivers to the sink but skips the shard
+  /// append, so the log itself stays empty on unbounded runs.  Only
+  /// meaningful while a sink is installed; without one, events are dropped.
+  void set_streaming_only(bool on);
+
   /// Snapshot of all events sorted by seq (stable order for replay).
   std::vector<Event> sorted_events() const;
+
+  /// Events with seq > after, sorted by seq.  Incremental read path for
+  /// consumers that poll: per-shard binary search for the cut point, then the
+  /// same disjoint-concat / k-way merge as sorted_events() over the suffixes
+  /// — no re-sort of the whole log.
+  std::vector<Event> drain_since(Seq after) const;
 
   std::size_t size() const;
   void clear();
@@ -91,6 +120,12 @@ class TraceLog {
   mutable std::mutex shards_mu_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<Seq> seq_{1};
+  std::atomic<EventSink*> sink_{nullptr};
+  std::atomic<bool> streaming_only_{false};
+  /// Serializes seq assignment with sink delivery so the subscriber sees a
+  /// strictly increasing seq stream.  Only taken when a sink is installed;
+  /// the sink-free fast path stays per-shard.
+  std::mutex publish_mu_;
   StringTable strings_;
   /// Process-unique id; keys the per-thread shard cache so a stale cache
   /// entry from a destroyed log can never alias a new log instance.

@@ -1,0 +1,184 @@
+// App-level equivalence of the online streaming engine (acceptance
+// criterion): the same injected-violation program checked in
+// AnalysisMode::kOnline must report exactly the post-mortem violation set —
+// at any queue size, with retirement enabled, verified both by the built-in
+// end-of-run reconciliation and by an independent post-mortem run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/home/check.hpp"
+#include "src/homp/runtime.hpp"
+#include "src/homp/worksharing.hpp"
+#include "src/spec/violations.hpp"
+
+namespace home {
+namespace {
+
+using apps::AppConfig;
+using apps::AppKind;
+using simmpi::Datatype;
+using simmpi::kCommWorld;
+using simmpi::Process;
+using simmpi::ThreadLevel;
+using spec::ViolationType;
+
+std::set<std::string> key_set(const Report& report) {
+  std::set<std::string> keys;
+  for (const spec::Violation& v : report.violations()) {
+    keys.insert(spec::violation_key(v));
+  }
+  return keys;
+}
+
+CheckConfig app_check(const AppConfig& app) {
+  CheckConfig cfg;
+  cfg.nranks = app.nranks;
+  cfg.nthreads = app.nthreads;
+  cfg.block_timeout_ms = app.block_timeout_ms;
+  return cfg;
+}
+
+/// Run the app post-mortem and online (with the given knobs) and require
+/// identical violation-key sets plus a clean built-in reconciliation.
+void expect_equivalent(const AppConfig& app, std::size_t queue_capacity,
+                       std::size_t retire_interval) {
+  auto rank_main = [&app](Process& p) { apps::run_app_rank(app, p); };
+
+  CheckConfig post = app_check(app);
+  const CheckResult baseline = check_program(post, rank_main);
+  ASSERT_TRUE(baseline.run.ok());
+
+  CheckConfig online = app_check(app);
+  online.session.mode = AnalysisMode::kOnline;
+  online.session.online.queue_capacity = queue_capacity;
+  online.session.online.retire_interval = retire_interval;
+  const CheckResult streamed = check_program(online, rank_main);
+  ASSERT_TRUE(streamed.run.ok());
+
+  // The built-in cross-check over the retained trace of the *same* run.
+  EXPECT_TRUE(streamed.reconciliation.ran);
+  EXPECT_TRUE(streamed.reconciliation.equivalent)
+      << "online-only: " << streamed.reconciliation.online_only.size()
+      << ", post-mortem-only: "
+      << streamed.reconciliation.post_mortem_only.size();
+
+  // And against an independent post-mortem execution: the scheduler may
+  // interleave differently, but every injected class must still be found.
+  EXPECT_EQ(key_set(streamed.report), key_set(baseline.report));
+  EXPECT_EQ(streamed.online_stats.events_dropped, 0u);
+  EXPECT_GT(streamed.online_stats.events_processed, 0u);
+}
+
+class OnlineAppEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(OnlineAppEquivalence, LuMzAllSixViolationClasses) {
+  const auto [queue, retire] = GetParam();
+  expect_equivalent(apps::paper_config(AppKind::kLU, 2), queue, retire);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueueAndRetire, OnlineAppEquivalence,
+    ::testing::Values(std::make_tuple(std::size_t{8}, std::size_t{64}),
+                      std::make_tuple(std::size_t{8}, std::size_t{1024}),
+                      std::make_tuple(std::size_t{1024}, std::size_t{64}),
+                      std::make_tuple(std::size_t{1024}, std::size_t{1024})));
+
+TEST(OnlineAppEquivalenceSuite, BtMzDefaultKnobs) {
+  expect_equivalent(apps::paper_config(AppKind::kBT, 2), 4096, 1024);
+}
+
+TEST(OnlineAppEquivalenceSuite, SpMzTinyQueueSmallEpochs) {
+  expect_equivalent(apps::paper_config(AppKind::kSP, 2), 8, 64);
+}
+
+TEST(OnlineAppEquivalenceSuite, CleanRunStaysClean) {
+  const AppConfig app = apps::clean_config(AppKind::kLU, 2);
+  CheckConfig cfg = app_check(app);
+  cfg.session.mode = AnalysisMode::kOnline;
+  cfg.session.online.retire_interval = 64;
+  const CheckResult result =
+      check_program(cfg, [&app](Process& p) { apps::run_app_rank(app, p); });
+  ASSERT_TRUE(result.run.ok());
+  EXPECT_TRUE(result.report.violations().empty());
+  EXPECT_TRUE(result.reconciliation.ran);
+  EXPECT_TRUE(result.reconciliation.equivalent);
+}
+
+TEST(OnlineLiveReports, CallbackFiresWhileTheProgramRuns) {
+  const AppConfig app = apps::paper_config(AppKind::kLU, 2);
+  std::atomic<std::size_t> live{0};
+  CheckConfig cfg = app_check(app);
+  cfg.session.mode = AnalysisMode::kOnline;
+  cfg.session.online.on_violation =
+      [&live](const spec::Violation&) { live.fetch_add(1); };
+  const CheckResult result =
+      check_program(cfg, [&app](Process& p) { apps::run_app_rank(app, p); });
+  ASSERT_TRUE(result.run.ok());
+  EXPECT_GT(live.load(), 0u);
+  EXPECT_LE(live.load(), result.report.violations().size());
+  EXPECT_EQ(result.online_stats.live_reports, live.load());
+}
+
+TEST(OnlineStreamingOnly, UnretainedTraceStillReportsViolations) {
+  // retain_trace=false is the truly bounded-memory deployment: the log
+  // buffers nothing, so reconciliation cannot run — but the streamed
+  // verdicts are the full report.
+  const AppConfig app = apps::paper_config(AppKind::kLU, 2);
+  CheckConfig cfg = app_check(app);
+  cfg.session.mode = AnalysisMode::kOnline;
+  cfg.session.online.retain_trace = false;
+  const CheckResult result =
+      check_program(cfg, [&app](Process& p) { apps::run_app_rank(app, p); });
+  ASSERT_TRUE(result.run.ok());
+  EXPECT_FALSE(result.reconciliation.ran);
+  for (const ViolationType type :
+       {ViolationType::kInitialization, ViolationType::kFinalization,
+        ViolationType::kConcurrentRecv, ViolationType::kConcurrentRequest,
+        ViolationType::kProbe, ViolationType::kCollectiveCall}) {
+    EXPECT_TRUE(result.report.has(type))
+        << spec::violation_type_name(type);
+  }
+}
+
+TEST(OnlineCaseStudy, Figure1InitializationViolationStreamsLive) {
+  CheckConfig cfg;
+  cfg.nranks = 2;
+  cfg.nthreads = 2;
+  cfg.block_timeout_ms = 2000;
+  cfg.session.mode = AnalysisMode::kOnline;
+  cfg.session.online.queue_capacity = 8;
+  cfg.session.online.retire_interval = 16;
+  auto result = check_program(cfg, [](Process& p) {
+    p.init();
+    homp::parallel(2, [&] {
+      homp::sections({
+          [&] {
+            if (p.rank() == 0) {
+              const int v = 1;
+              p.send(&v, 1, Datatype::kInt, 1, 0, kCommWorld, {"cs1.send"});
+            }
+          },
+          [&] {
+            if (p.rank() == 1) {
+              int v = 0;
+              p.recv(&v, 1, Datatype::kInt, 0, 0, kCommWorld, nullptr,
+                     {"cs1.recv"});
+            }
+          },
+      });
+    });
+    p.finalize();
+  });
+  EXPECT_TRUE(result.run.ok());
+  EXPECT_TRUE(result.report.has(ViolationType::kInitialization));
+  EXPECT_TRUE(result.reconciliation.ran);
+  EXPECT_TRUE(result.reconciliation.equivalent);
+}
+
+}  // namespace
+}  // namespace home
