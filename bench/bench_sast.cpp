@@ -1,0 +1,227 @@
+// Static-analysis bench (the static MHP + lockset tentpole): measures, over
+// the examples/corpus sources, how much the dataflow engine shrinks the
+// instrumentation plan (pruned sites = dynamic-monitoring overhead avoided)
+// and how the analysis itself scales with program size.
+//
+// Modes:
+//   bench_sast            one JSON row per corpus file (plan sizes, prune
+//                         reasons, warning counts, analysis seconds) plus a
+//                         synthetic scaling sweep
+//   bench_sast --smoke    fast functional check: clean sources produce zero
+//                         definite warnings and yield barrier-separated /
+//                         critical-guarded / master-guarded prunes; violation
+//                         sources produce definite warnings; plan v2 files
+//                         round-trip.  ctest runs this at build time.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/fig_common.hpp"
+#include "src/sast/analysis.hpp"
+#include "src/sast/diagnostics.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/strings.hpp"
+
+#ifndef HOME_CORPUS_DIR
+#define HOME_CORPUS_DIR "examples/corpus"
+#endif
+
+namespace {
+
+using namespace home;
+
+const char* kCorpusFiles[] = {
+    "clean_critical_sends.c",   "clean_barrier_phases.c",
+    "clean_master_funneled.c",  "clean_unnamed_critical.c",
+    "clean_serial.c",           "violation_figure2.c",
+    "violation_probe_race.c",   "violation_shared_request.c",
+    "violation_collective_finalize.c",
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct CorpusResult {
+  std::string name;
+  sast::AnalysisResult analysis;
+  std::vector<sast::StaticWarning> warnings;
+  double seconds = 0;
+};
+
+std::vector<CorpusResult> analyze_corpus() {
+  std::vector<CorpusResult> results;
+  for (const char* file : kCorpusFiles) {
+    const std::string path = std::string(HOME_CORPUS_DIR) + "/" + file;
+    const std::string source = read_file(path);
+    if (source.empty()) {
+      std::fprintf(stderr, "bench_sast: cannot read %s\n", path.c_str());
+      continue;
+    }
+    CorpusResult r;
+    r.name = file;
+    util::Stopwatch timer;
+    r.analysis = sast::analyze_source(source);
+    r.warnings = sast::diagnose(r.analysis);
+    r.seconds = timer.elapsed_seconds();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::size_t definite_count(const std::vector<sast::StaticWarning>& warnings) {
+  std::size_t n = 0;
+  for (const auto& w : warnings) {
+    if (w.severity == sast::Severity::kDefinite) ++n;
+  }
+  return n;
+}
+
+/// Synthetic source with `n` parallel worker functions, each with a
+/// barrier-phased region — exercises the interprocedural fixed point and the
+/// per-region phase analysis at scale.
+std::string synthetic_source(int n) {
+  std::ostringstream os;
+  os << "#include <mpi.h>\n";
+  for (int i = 0; i < n; ++i) {
+    os << "void worker" << i << "() {\n"
+       << "  #pragma omp parallel\n  {\n"
+       << "    #pragma omp critical(net" << i % 4 << ")\n"
+       << "    { MPI_Send(&a, 1, MPI_INT, 1, " << i << ", MPI_COMM_WORLD); }\n"
+       << "    #pragma omp barrier\n"
+       << "    #pragma omp single\n"
+       << "    { MPI_Recv(&a, 1, MPI_INT, 1, " << i
+       << ", MPI_COMM_WORLD, MPI_STATUS_IGNORE); }\n"
+       << "  }\n}\n";
+  }
+  os << "int main() {\n"
+     << "  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);\n";
+  for (int i = 0; i < n; ++i) os << "  worker" << i << "();\n";
+  os << "  MPI_Finalize();\n  return 0;\n}\n";
+  return os.str();
+}
+
+int smoke() {
+  const std::vector<CorpusResult> results = analyze_corpus();
+  if (results.size() != sizeof(kCorpusFiles) / sizeof(kCorpusFiles[0])) {
+    std::fprintf(stderr, "smoke: corpus incomplete (%zu files analyzed)\n",
+                 results.size());
+    return 1;
+  }
+
+  std::map<std::string, std::size_t> reason_kinds;
+  for (const CorpusResult& r : results) {
+    const bool clean = util::starts_with(r.name, "clean_");
+    const std::size_t definite = definite_count(r.warnings);
+    if (clean && definite > 0) {
+      std::fprintf(stderr, "smoke: %s has %zu definite warning(s):\n",
+                   r.name.c_str(), definite);
+      for (const auto& w : r.warnings) {
+        std::fprintf(stderr, "  %s\n", w.to_string().c_str());
+      }
+      return 1;
+    }
+    if (!clean && definite == 0) {
+      std::fprintf(stderr, "smoke: %s not flagged definite\n", r.name.c_str());
+      return 1;
+    }
+    for (const auto& [label, reason] : r.analysis.plan.pruned) {
+      const std::size_t paren = reason.find('(');
+      reason_kinds[reason.substr(0, paren)] += 1;
+    }
+  }
+
+  for (const char* kind :
+       {"barrier-separated", "critical-guarded", "master-guarded"}) {
+    if (reason_kinds[kind] == 0) {
+      std::fprintf(stderr, "smoke: no %s prune found across the corpus\n",
+                   kind);
+      return 1;
+    }
+  }
+
+  // The critical-guarded corpus file must have every parallel site pruned —
+  // the measured overhead reduction.
+  for (const CorpusResult& r : results) {
+    if (r.name != "clean_critical_sends.c") continue;
+    if (r.analysis.plan.instrumented_calls != 0 ||
+        r.analysis.plan.pruned_calls != 2) {
+      std::fprintf(stderr,
+                   "smoke: clean_critical_sends plan unexpected "
+                   "(instrumented=%zu pruned=%zu)\n",
+                   r.analysis.plan.instrumented_calls,
+                   r.analysis.plan.pruned_calls);
+      return 1;
+    }
+  }
+
+  // Plan v2 round-trip, including prune reasons.
+  const char* tmp = "bench_sast_plan.tmp";
+  const sast::InstrPlan& plan = results[0].analysis.plan;
+  sast::save_plan_file(tmp, plan);
+  const sast::InstrPlan loaded = sast::load_plan_file(tmp);
+  std::remove(tmp);
+  if (loaded.instrument != plan.instrument || loaded.pruned != plan.pruned) {
+    std::fprintf(stderr, "smoke: plan v2 round-trip mismatch\n");
+    return 1;
+  }
+
+  std::size_t pruned_total = 0;
+  for (const CorpusResult& r : results) {
+    pruned_total += r.analysis.plan.pruned_calls;
+  }
+  std::printf("bench_sast --smoke: OK (%zu corpus files, %zu pruned sites, "
+              "%zu prune-reason kinds)\n",
+              results.size(), pruned_total, reason_kinds.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  if (flags.get_bool("smoke", false)) return smoke();
+
+  for (const CorpusResult& r : analyze_corpus()) {
+    bench::JsonRow("sast_plan")
+        .field("source", r.name)
+        .field("total_calls", r.analysis.plan.total_calls)
+        .field("instrumented", r.analysis.plan.instrumented_calls)
+        .field("filtered_serial", r.analysis.plan.filtered_calls)
+        .field("pruned_static", r.analysis.plan.pruned_calls)
+        .field("instrumented_fraction",
+               r.analysis.plan.total_calls == 0
+                   ? 0.0
+                   : static_cast<double>(r.analysis.plan.instrumented_calls) /
+                         static_cast<double>(r.analysis.plan.total_calls))
+        .field("warnings", r.warnings.size())
+        .field("definite", definite_count(r.warnings))
+        .field("analysis_seconds", r.seconds)
+        .print();
+  }
+
+  const int max_fns = flags.get_int("max-fns", 256);
+  for (int n = 8; n <= max_fns; n *= 2) {
+    const std::string source = synthetic_source(n);
+    util::Stopwatch timer;
+    const sast::AnalysisResult analysis = sast::analyze_source(source);
+    const double seconds = timer.elapsed_seconds();
+    bench::JsonRow("sast_scaling")
+        .field("functions", n)
+        .field("source_bytes", source.size())
+        .field("calls", analysis.calls.size())
+        .field("pruned_static", analysis.plan.pruned_calls)
+        .field("analysis_seconds", seconds)
+        .print();
+  }
+  return 0;
+}

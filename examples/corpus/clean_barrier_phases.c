@@ -1,0 +1,24 @@
+/* Clean: the send and receive are in different single constructs separated
+ * by barriers (the single's implied barrier plus an explicit one), so their
+ * barrier-phase intervals are disjoint — the engine proves they can never
+ * happen in parallel and prunes both with reason barrier-separated. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  #pragma omp parallel
+  {
+    #pragma omp single
+    {
+      MPI_Send(&halo, 1, MPI_INT, 1, 7, MPI_COMM_WORLD);
+    }
+    compute(halo);
+    #pragma omp barrier
+    #pragma omp single
+    {
+      MPI_Recv(&halo, 1, MPI_INT, 1, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}

@@ -1,0 +1,23 @@
+/* Clean: every MPI call in the parallel region is guarded by the same named
+ * critical section, so the static engine proves all pairs (and self-races)
+ * serialized and prunes the sites from the instrumentation plan with reason
+ * critical-guarded(net). */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  #pragma omp parallel
+  {
+    #pragma omp critical(net)
+    {
+      MPI_Send(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    }
+    compute(a);
+    #pragma omp critical(net)
+    {
+      MPI_Recv(&b, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}

@@ -1,0 +1,18 @@
+/* Clean under MPI_THREAD_FUNNELED: the only MPI call inside the parallel
+ * region is in a master construct, so it always runs on the main thread —
+ * compliant with FUNNELED, and pruned with reason master-guarded. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_FUNNELED, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  #pragma omp parallel
+  {
+    compute(rank);
+    #pragma omp master
+    {
+      MPI_Allreduce(&x, &y, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}

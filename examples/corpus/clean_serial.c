@@ -1,0 +1,10 @@
+/* Clean: purely serial MPI — no parallel regions, nothing to instrument. */
+#include <mpi.h>
+int main() {
+  MPI_Init(0, 0);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Bcast(&n, 1, MPI_INT, 0, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}

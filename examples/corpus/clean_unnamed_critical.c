@@ -1,0 +1,21 @@
+/* Clean: unnamed critical sections all share ONE global lock per the OpenMP
+ * spec, so the wait and the test — each inside an unnamed critical — are
+ * mutually serialized even though the criticals are lexically distinct. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  #pragma omp parallel
+  {
+    #pragma omp critical
+    {
+      MPI_Wait(&req, MPI_STATUS_IGNORE);
+    }
+    compute(req);
+    #pragma omp critical
+    {
+      MPI_Test(&req, &flag, MPI_STATUS_IGNORE);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}

@@ -1,0 +1,15 @@
+/* Violation: plain MPI_Init (MPI_THREAD_SINGLE) with MPI calls in a parallel
+ * region (InitializationViolation), a team-executed collective on one
+ * communicator (CollectiveCallViolation), and MPI_Finalize inside the region
+ * (FinalizationViolation) — all definite. */
+#include <mpi.h>
+int main() {
+  MPI_Init(0, 0);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  #pragma omp parallel
+  {
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  }
+  return 0;
+}

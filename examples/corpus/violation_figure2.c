@@ -1,0 +1,23 @@
+/* Violation (paper Figure 2): both threads of each rank execute the same
+ * receives with identical (source, tag, comm) — a ConcurrentRecvViolation
+ * the engine classifies definite. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int tag = 0;
+  omp_set_num_threads(2);
+  #pragma omp parallel for private(i)
+  for (j = 0; j < 2; j++) {
+    if (rank == 0) {
+      MPI_Send(&a, 1, MPI_INT, 1, tag, MPI_COMM_WORLD);
+      MPI_Recv(&a, 1, MPI_INT, 1, tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    if (rank == 1) {
+      MPI_Recv(&a, 1, MPI_INT, 0, tag, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      MPI_Send(&a, 1, MPI_INT, 0, tag, MPI_COMM_WORLD);
+    }
+  }
+  MPI_Finalize();
+  return 0;
+}

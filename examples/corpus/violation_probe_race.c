@@ -1,0 +1,15 @@
+/* Violation: a probe and the matching receive run concurrently on the same
+ * (source, tag, comm) — another thread can steal the probed message
+ * (ProbeViolation, definite). */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  #pragma omp parallel
+  {
+    MPI_Probe(0, 5, MPI_COMM_WORLD, &status);
+    MPI_Recv(&buf, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}

@@ -1,0 +1,13 @@
+/* Violation: the whole team waits on one shared request object
+ * (ConcurrentRequestViolation, definite). */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Irecv(&buf, 1, MPI_INT, 0, 3, MPI_COMM_WORLD, &req);
+  #pragma omp parallel
+  {
+    MPI_Wait(&req, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}

@@ -1,13 +1,19 @@
 // The compile-time half of HOME as a standalone command-line tool: parse a
 // hybrid MPI/OpenMP C source, print the control-flow graphs, the MPI call
-// sites with parallel-region / critical context, the instrumentation plan,
-// the static warnings, and the rewritten (HMPI_-wrapped) source.
+// sites with their dataflow facts (MHP position, locks, one-thread
+// constructs), the instrumentation plan with prune reasons, the static
+// warnings, and the rewritten (HMPI_-wrapped) source.
 //
-//   ./static_analyzer_cli [file.c] [--dot] [--no-rewrite] [--emit-plan=FILE]
+//   ./static_analyzer_cli [file.c] [--dot] [--json] [--lint]
+//                         [--no-rewrite] [--emit-plan=FILE]
 //
 // Without a file argument, the paper's Figure 2 case study is analyzed.
 // --emit-plan writes the instrumentation plan to FILE for a later dynamic
 // run (home::SessionConfig with InstrumentFilter::kPlan).
+// --json emits a machine-readable report (sites, plan, warnings) instead of
+// the human-readable dump.
+// --lint prints only the warnings and exits nonzero when any warning is
+// classified definite — suitable as a CI gate.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -42,6 +48,73 @@ int main() {
 }
 )";
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::string& name,
+                const home::sast::AnalysisResult& analysis,
+                const std::vector<home::sast::StaticWarning>& warnings) {
+  using home::sast::Severity;
+  std::ostringstream os;
+  os << "{\n  \"source\": \"" << json_escape(name) << "\",\n";
+  os << "  \"calls\": [\n";
+  for (std::size_t i = 0; i < analysis.calls.size(); ++i) {
+    const auto& s = analysis.calls[i];
+    os << "    {\"label\": \"" << json_escape(s.label) << "\", \"line\": "
+       << s.line << ", \"parallel\": " << (s.in_parallel ? "true" : "false")
+       << ", \"master\": " << (s.in_master ? "true" : "false")
+       << ", \"single\": " << (s.in_single ? "true" : "false")
+       << ", \"section\": " << (s.in_section ? "true" : "false")
+       << ", \"pruned\": " << (s.pruned ? "true" : "false");
+    if (s.pruned) {
+      os << ", \"prune_reason\": \"" << json_escape(s.prune_reason) << "\"";
+    }
+    os << ", \"locks\": [";
+    std::size_t k = 0;
+    for (const auto& lock : s.locks) {
+      os << (k++ ? ", " : "") << "\"" << json_escape(lock) << "\"";
+    }
+    os << "]}" << (i + 1 < analysis.calls.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"plan\": {\"total\": " << analysis.plan.total_calls
+     << ", \"instrumented\": " << analysis.plan.instrumented_calls
+     << ", \"filtered\": " << analysis.plan.filtered_calls
+     << ", \"pruned\": " << analysis.plan.pruned_calls << "},\n";
+  os << "  \"warnings\": [\n";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    const auto& w = warnings[i];
+    os << "    {\"class\": \"" << home::sast::warning_class_name(w.cls)
+       << "\", \"severity\": \"" << home::sast::severity_name(w.severity)
+       << "\", \"line\": " << w.line << ", \"site\": \""
+       << json_escape(w.site) << "\", \"site2\": \"" << json_escape(w.site2)
+       << "\", \"witness\": \"" << json_escape(w.witness)
+       << "\", \"message\": \"" << json_escape(w.message) << "\"}"
+       << (i + 1 < warnings.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::fputs(os.str().c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,14 +135,38 @@ int main(int argc, char** argv) {
     source = buffer.str();
   }
 
-  std::printf("=== static analysis of %s ===\n\n", name.c_str());
+  const bool json = flags.get_bool("json", false);
+  const bool lint = flags.get_bool("lint", false);
+
   TranslationUnit unit = parse(source);
+  AnalysisResult analysis = analyze(unit);
+  const auto warnings = diagnose(analysis);
+
+  if (json) {
+    print_json(name, analysis, warnings);
+    bool definite = false;
+    for (const auto& w : warnings) {
+      if (w.severity == Severity::kDefinite) definite = true;
+    }
+    return lint && definite ? 2 : 0;
+  }
+
+  if (lint) {
+    bool definite = false;
+    for (const auto& w : warnings) {
+      std::printf("%s\n", w.to_string().c_str());
+      if (w.severity == Severity::kDefinite) definite = true;
+    }
+    std::printf("%s: %zu warning(s)%s\n", name.c_str(), warnings.size(),
+                definite ? ", definite violations found" : "");
+    return definite ? 2 : 0;
+  }
+
+  std::printf("=== static analysis of %s ===\n\n", name.c_str());
   if (!unit.errors.empty()) {
     std::printf("parse diagnostics:\n");
     for (const auto& e : unit.errors) std::printf("  %s\n", e.c_str());
   }
-
-  AnalysisResult analysis = analyze(unit);
 
   if (flags.get_bool("dot", false)) {
     for (std::size_t i = 0; i < unit.functions.size(); ++i) {
@@ -79,18 +176,24 @@ int main(int argc, char** argv) {
 
   std::printf("MPI call sites (%zu):\n", analysis.calls.size());
   for (const auto& site : analysis.calls) {
-    std::printf("  %-40s line %-4d %s%s%s\n", site.label.c_str(), site.line,
+    const std::string pruned_tag =
+        site.pruned ? "[pruned: " + site.prune_reason + "]" : "";
+    std::printf("  %-40s line %-4d %s%s%s%s\n", site.label.c_str(), site.line,
                 site.in_parallel ? "[parallel] " : "[serial]   ",
-                site.critical_stack.empty() ? "" : "[critical] ",
-                site.in_master_or_single ? "[master/single]" : "");
+                site.locks.empty() ? "" : "[locked] ",
+                site.in_master_or_single ? "[master/single] " : "",
+                pruned_tag.c_str());
   }
 
   std::printf("\ninstrumentation plan: %zu of %zu calls instrumented, %zu "
-              "filtered as provably thread-safe\n",
+              "filtered as serial, %zu pruned as statically safe\n",
               analysis.plan.instrumented_calls, analysis.plan.total_calls,
-              analysis.plan.filtered_calls);
+              analysis.plan.filtered_calls, analysis.plan.pruned_calls);
   for (const auto& label : analysis.plan.instrument) {
-    std::printf("  wrap %s\n", label.c_str());
+    std::printf("  wrap  %s\n", label.c_str());
+  }
+  for (const auto& [label, reason] : analysis.plan.pruned) {
+    std::printf("  prune %s (%s)\n", label.c_str(), reason.c_str());
   }
 
   const std::string plan_path = flags.get("emit-plan", "");
@@ -99,7 +202,6 @@ int main(int argc, char** argv) {
     std::printf("\nplan written to %s\n", plan_path.c_str());
   }
 
-  const auto warnings = diagnose(analysis);
   std::printf("\nstatic warnings (%zu):\n", warnings.size());
   for (const auto& w : warnings) std::printf("  %s\n", w.to_string().c_str());
 

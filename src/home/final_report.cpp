@@ -41,6 +41,13 @@ std::string FinalEntry::to_string() const {
   std::ostringstream os;
   os << spec::violation_type_name(type) << " [" << confirmation_name(confirmation)
      << "]";
+  if (confirmation == Confirmation::kBoth) {
+    os << " (statically-anticipated";
+    if (!static_severity.empty()) os << ", " << static_severity;
+    os << ")";
+  } else if (confirmation == Confirmation::kDynamicOnly) {
+    os << " (statically-missed)";
+  }
   if (!static_sites.empty()) {
     os << " static{";
     for (std::size_t i = 0; i < static_sites.size(); ++i) {
@@ -89,13 +96,18 @@ FinalReport merge_reports(const std::vector<sast::StaticWarning>& warnings,
   struct Bucket {
     std::set<std::string> static_sites;
     std::set<std::string> dynamic_sites;
+    bool statically_predicted = false;
+    bool has_definite = false;
     std::string detail;
   };
   std::map<int, Bucket> buckets;  // keyed by ViolationType.
 
   for (const sast::StaticWarning& w : warnings) {
     Bucket& bucket = buckets[static_cast<int>(to_violation_type(w.cls))];
+    bucket.statically_predicted = true;
+    if (w.severity == sast::Severity::kDefinite) bucket.has_definite = true;
     if (!w.site.empty()) bucket.static_sites.insert(w.site);
+    if (!w.site2.empty()) bucket.static_sites.insert(w.site2);
     if (bucket.detail.empty()) bucket.detail = w.message;
   }
   for (const spec::Violation& v : dynamic_report.violations()) {
@@ -114,9 +126,12 @@ FinalReport merge_reports(const std::vector<sast::StaticWarning>& warnings,
     entry.dynamic_sites.assign(bucket.dynamic_sites.begin(),
                                bucket.dynamic_sites.end());
     entry.detail = bucket.detail;
-    if (!bucket.static_sites.empty() && !bucket.dynamic_sites.empty()) {
+    if (bucket.statically_predicted) {
+      entry.static_severity = bucket.has_definite ? "definite" : "possible";
+    }
+    if (bucket.statically_predicted && !bucket.dynamic_sites.empty()) {
       entry.confirmation = Confirmation::kBoth;
-    } else if (!bucket.static_sites.empty()) {
+    } else if (bucket.statically_predicted) {
       entry.confirmation = Confirmation::kStaticOnly;
     } else {
       entry.confirmation = Confirmation::kDynamicOnly;

@@ -27,7 +27,16 @@ struct FinalEntry {
   Confirmation confirmation = Confirmation::kDynamicOnly;
   std::vector<std::string> static_sites;   ///< callsite labels from sast.
   std::vector<std::string> dynamic_sites;  ///< callsite labels from the run.
+  /// Strongest static severity for this class ("definite" / "possible"),
+  /// empty when the class was not statically predicted.
+  std::string static_severity;
   std::string detail;
+
+  /// Cross-check verdict for dynamic findings: was this class anticipated by
+  /// the static engine?  (False for static-only entries too.)
+  bool statically_anticipated() const {
+    return confirmation == Confirmation::kBoth;
+  }
 
   std::string to_string() const;
 };

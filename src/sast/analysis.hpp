@@ -1,16 +1,22 @@
 // The compile-time phase of HOME (Algorithm 1): traverse each function's
-// srcCFG node list, track omp parallel / critical nesting, extract every MPI
-// call with its arguments, and produce the instrumentation plan — the set of
+// srcCFG node list, extract every MPI call with its arguments and the
+// dataflow facts at the call node (MHP position, barrier phase, must-lockset,
+// one-thread constructs), and produce the instrumentation plan — the set of
 // call sites to replace with HMPI_* wrappers.  MPI calls outside parallel
 // regions are provably free of *thread*-safety violations and are filtered
-// out, which is the paper's overhead-reduction step.
+// out; calls inside parallel regions that the static MHP + lockset engine
+// proves safe (barrier-separated, master/single-guarded, critical-guarded)
+// are additionally *pruned*, with the proof recorded as a reason string —
+// the paper's overhead-reduction step, upgraded from syntactic to dataflow.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/sast/cfg.hpp"
+#include "src/sast/mhp.hpp"
 #include "src/sast/parser.hpp"
 
 namespace home::sast {
@@ -22,18 +28,35 @@ struct MpiCallSite {
   int line = 0;
   int col = 0;
   bool in_parallel = false;
-  std::vector<std::string> critical_stack;  ///< enclosing critical names.
+  std::vector<std::string> critical_stack;  ///< enclosing critical names
+                                            ///< (canonicalized; unnamed
+                                            ///< criticals share one lock).
   bool in_master_or_single = false;
   /// Stable callsite label: "<function>:<line>:<routine>" — the same label
   /// scheme the runtime CallOpts uses, so the plan can key dynamic filtering.
   std::string label;
+
+  // Dataflow facts at the call node (see mhp.hpp).
+  std::set<std::string> locks;  ///< must-held critical locks (incl. context).
+  bool in_master = false;
+  bool in_single = false;
+  bool in_section = false;
+  int fn_index = -1;  ///< index into AnalysisResult::cfgs / facts.functions.
+  int node_id = -1;   ///< CFG node id within that function.
+  bool pruned = false;             ///< statically proven thread-safe.
+  std::string prune_reason;        ///< why, when pruned ("barrier-separated",
+                                   ///< "master-guarded", ...).
 };
 
 struct InstrPlan {
   std::set<std::string> instrument;  ///< labels selected for wrapping.
+  /// Labels inside parallel regions that the static engine proved safe, with
+  /// the prune reason (plan file v2 records these as `prune <label> <why>`).
+  std::map<std::string, std::string> pruned;
   std::size_t total_calls = 0;
   std::size_t instrumented_calls = 0;
-  std::size_t filtered_calls = 0;    ///< provably thread-safe (serial) calls.
+  std::size_t filtered_calls = 0;    ///< provably serial calls.
+  std::size_t pruned_calls = 0;      ///< parallel but statically proven safe.
 };
 
 struct AnalysisResult {
@@ -41,6 +64,13 @@ struct AnalysisResult {
   InstrPlan plan;
   /// One CFG per function, aligned with unit.functions order.
   std::vector<Cfg> cfgs;
+  /// Converged interprocedural dataflow facts (MHP, phases, locksets).
+  ProgramFacts facts;
+  /// Per function: identifiers whose value may depend on the executing
+  /// thread (assigned from omp_get_thread_num, transitively).  Used to
+  /// demote warning severity — "same tag" reasoning breaks when the tag is
+  /// thread-dependent.  Self-contained (no AST pointers).
+  std::map<std::string, std::set<std::string>> thread_dependent;
   /// Requested thread level literal if MPI_Init_thread is called with one
   /// ("MPI_THREAD_MULTIPLE", ...); empty if only MPI_Init appears.
   std::string requested_level;
@@ -49,21 +79,39 @@ struct AnalysisResult {
 };
 
 /// Run the full compile-time analysis on a parsed translation unit.
-/// Interprocedural position: calls are analysed in their lexical function;
-/// a function called from inside a parallel region is treated as parallel if
-/// `assume_called_in_parallel` lists it (simple 1-level context sensitivity;
-/// compute_parallel_callees() derives that list).
+/// Interprocedural position: each function is analysed under the converged
+/// calling context (may-parallel, entry locks, always-master) computed by
+/// compute_program_facts().
 AnalysisResult analyze(const TranslationUnit& unit);
 
 /// Functions whose call sites appear (transitively) inside parallel regions.
+/// Kept for API compatibility; now answered by the interprocedural context
+/// propagation instead of the old 1-level AST walk.
 std::set<std::string> compute_parallel_callees(const TranslationUnit& unit);
 
 /// Convenience: parse + analyze.
 AnalysisResult analyze_source(const std::string& source);
 
+/// May call sites `i` and `j` (indices into result.calls) race — execute
+/// concurrently on distinct threads with disjoint must-locksets?  i == j
+/// asks about whole-team self-races.  `use_phases=false` ignores barrier
+/// separation (prune-reason attribution).
+bool sites_may_race(const AnalysisResult& result, std::size_t i,
+                    std::size_t j, bool use_phases = true);
+
+/// May site `i` race with itself (whole-team execution, no lock)?
+bool site_self_race(const AnalysisResult& result, std::size_t i);
+
+/// Does `arg`'s text reference an identifier whose value may depend on the
+/// executing thread (see AnalysisResult::thread_dependent)?
+bool thread_dependent_arg(const AnalysisResult& result,
+                          const MpiCallSite& site, const std::string& arg);
+
 /// Persist / load an instrumentation plan so the compile-time phase can hand
 /// the callsite list to a separate dynamic-phase process (the
-/// InstrumentFilter::kPlan mode of the runtime wrappers).
+/// InstrumentFilter::kPlan mode of the runtime wrappers).  Writes the v2
+/// format (`wrap <label>` / `prune <label> <reason>` lines); loads both v2
+/// and the legacy v1 format (bare labels).
 void save_plan_file(const std::string& path, const InstrPlan& plan);
 InstrPlan load_plan_file(const std::string& path);
 

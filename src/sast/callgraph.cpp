@@ -1,0 +1,131 @@
+#include "src/sast/callgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace home::sast {
+
+bool FnContext::join_parallel_site(const std::set<std::string>& site_locks,
+                                   bool site_master) {
+  bool changed = false;
+  if (!may_parallel) {
+    may_parallel = true;
+    changed = true;
+  }
+  if (locks_top) {
+    locks_top = false;
+    entry_locks = site_locks;
+    changed = true;
+  } else {
+    std::set<std::string> out;
+    std::set_intersection(entry_locks.begin(), entry_locks.end(),
+                          site_locks.begin(), site_locks.end(),
+                          std::inserter(out, out.begin()));
+    if (out != entry_locks) {
+      entry_locks = std::move(out);
+      changed = true;
+    }
+  }
+  if (always_master && !site_master) {
+    always_master = false;
+    changed = true;
+  }
+  return changed;
+}
+
+int CallGraph::index_of(const std::string& fn) const {
+  const auto it = index_.find(fn);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::set<std::string>& CallGraph::callees(const std::string& fn) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = callees_.find(fn);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+CallGraph CallGraph::build(const TranslationUnit& unit,
+                           const std::vector<Cfg>& cfgs) {
+  CallGraph graph;
+  for (std::size_t i = 0; i < unit.functions.size(); ++i) {
+    graph.index_[unit.functions[i].name] = static_cast<int>(i);
+    graph.names_.push_back(unit.functions[i].name);
+  }
+
+  for (std::size_t i = 0; i < cfgs.size() && i < unit.functions.size(); ++i) {
+    const std::string& caller = unit.functions[i].name;
+    for (const CfgNode& node : cfgs[i].nodes()) {
+      if (!node.stmt) continue;
+      // Construct end markers share the begin node's stmt; collect calls at
+      // the begin/marker only to avoid double-counting.
+      if (node.kind == CfgNodeKind::kOmpParallelEnd ||
+          node.kind == CfgNodeKind::kOmpCriticalEnd ||
+          node.kind == CfgNodeKind::kOmpWorksharingEnd) {
+        continue;
+      }
+      for (const CallExpr& call : node.stmt->calls) {
+        graph.callees_[caller].insert(call.callee);
+        CallSite site;
+        site.caller = caller;
+        site.callee = call.callee;
+        site.caller_index = static_cast<int>(i);
+        site.node = node.id;
+        site.line = call.line;
+        graph.call_sites_.push_back(std::move(site));
+      }
+    }
+  }
+
+  // Tarjan SCC over the defined-function subgraph to classify recursion.
+  struct TarjanState {
+    int index = -1;
+    int lowlink = -1;
+    bool on_stack = false;
+  };
+  std::map<std::string, TarjanState> state;
+  std::vector<std::string> stack;
+  int counter = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& fn) {
+        TarjanState& st = state[fn];
+        st.index = st.lowlink = counter++;
+        st.on_stack = true;
+        stack.push_back(fn);
+
+        for (const std::string& callee : graph.callees(fn)) {
+          if (!graph.defined(callee)) continue;
+          TarjanState& cs = state[callee];
+          if (cs.index < 0) {
+            strongconnect(callee);
+            st.lowlink = std::min(st.lowlink, state[callee].lowlink);
+          } else if (cs.on_stack) {
+            st.lowlink = std::min(st.lowlink, cs.index);
+          }
+        }
+
+        if (st.lowlink == st.index) {
+          std::vector<std::string> component;
+          while (true) {
+            const std::string member = stack.back();
+            stack.pop_back();
+            state[member].on_stack = false;
+            component.push_back(member);
+            if (member == fn) break;
+          }
+          const bool self_loop = graph.callees(fn).count(fn) > 0;
+          if (component.size() > 1 || self_loop) {
+            for (const std::string& member : component) {
+              graph.recursive_.insert(member);
+            }
+          }
+        }
+      };
+
+  for (const std::string& fn : graph.names_) {
+    if (state[fn].index < 0) strongconnect(fn);
+  }
+  return graph;
+}
+
+}  // namespace home::sast

@@ -15,6 +15,7 @@ const char* cfg_node_kind_name(CfgNodeKind kind) {
     case CfgNodeKind::kOmpCriticalEnd: return "ompCriticalEnd";
     case CfgNodeKind::kOmpBarrier: return "ompBarrier";
     case CfgNodeKind::kOmpWorksharing: return "ompWorksharing";
+    case CfgNodeKind::kOmpWorksharingEnd: return "ompWorksharingEnd";
   }
   return "?";
 }
@@ -34,6 +35,12 @@ int Cfg::add_node(CfgNodeKind kind, const Stmt* stmt, int line,
 void Cfg::add_edge(int from, int to) {
   if (from < 0 || to < 0) return;
   nodes_[static_cast<std::size_t>(from)].succs.push_back(to);
+}
+
+void Cfg::set_match(int a, int b) {
+  if (a < 0 || b < 0) return;
+  nodes_[static_cast<std::size_t>(a)].match = b;
+  nodes_[static_cast<std::size_t>(b)].match = a;
 }
 
 std::string Cfg::to_dot(const std::string& name) const {
@@ -152,6 +159,7 @@ class Builder {
         const int end = cfg_.add_node(CfgNodeKind::kOmpParallelEnd, &stmt,
                                       stmt.line);
         cfg_.add_edge(tail, end);
+        cfg_.set_match(begin, end);
         return end;
       }
       case OmpDirective::kCritical: {
@@ -163,6 +171,7 @@ class Builder {
         const int end = cfg_.add_node(CfgNodeKind::kOmpCriticalEnd, &stmt,
                                       stmt.line, stmt.critical_name);
         cfg_.add_edge(tail, end);
+        cfg_.set_match(begin, end);
         return end;
       }
       case OmpDirective::kBarrier: {
@@ -181,7 +190,12 @@ class Builder {
         cfg_.add_edge(pred, node);
         int tail = node;
         if (stmt.body) tail = lower(*stmt.body, node);
-        return tail;
+        const int end = cfg_.add_node(CfgNodeKind::kOmpWorksharingEnd, &stmt,
+                                      stmt.line,
+                                      omp_directive_name(stmt.directive));
+        cfg_.add_edge(tail, end);
+        cfg_.set_match(node, end);
+        return end;
       }
       case OmpDirective::kNone:
       case OmpDirective::kUnknown:

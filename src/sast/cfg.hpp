@@ -18,7 +18,9 @@ enum class CfgNodeKind : std::uint8_t {
   kOmpCriticalBegin,  ///< entering `omp critical(name)`.
   kOmpCriticalEnd,
   kOmpBarrier,
-  kOmpWorksharing,    ///< for / sections / section / single / master marker.
+  kOmpWorksharing,     ///< for / sections / section / single / master marker.
+  kOmpWorksharingEnd,  ///< end of a worksharing construct body (carries the
+                       ///< implied barrier unless the construct has nowait).
 };
 
 const char* cfg_node_kind_name(CfgNodeKind kind);
@@ -30,6 +32,10 @@ struct CfgNode {
   int line = 0;
   std::string label;           ///< critical name / directive name.
   std::vector<int> succs;
+  /// Matching construct node: begin<->end for parallel / critical /
+  /// worksharing pairs; -1 for everything else.  The dataflow engine uses
+  /// these links to recover construct extents without re-walking the AST.
+  int match = -1;
 };
 
 class Cfg {
@@ -46,6 +52,7 @@ class Cfg {
   int add_node(CfgNodeKind kind, const Stmt* stmt, int line,
                const std::string& label = "");
   void add_edge(int from, int to);
+  void set_match(int a, int b);
   void set_entry(int id) { entry_ = id; }
   void set_exit(int id) { exit_ = id; }
 

@@ -1,8 +1,12 @@
 // Static diagnostics: the "statically detect potential unsafe hybrid
-// MPI/OpenMP programming styles" contribution.  Purely syntactic/structural
-// checks over the analysis result; each warning names the violation class it
-// anticipates, so the final report can cross-check static suspicion against
-// dynamic confirmation.
+// MPI/OpenMP programming styles" contribution.  Checks are backed by the
+// MHP + lockset dataflow engine (mhp.hpp): a pair warning is emitted only
+// when the two sites are statically may-happen-in-parallel with disjoint
+// must-locksets; each warning names the violation class it anticipates, the
+// second site involved (for pair findings), a shortest-path witness, and a
+// severity — kDefinite when the proof is tight (same function, path
+// connected, bounded barrier phases, concrete thread-independent arguments),
+// kPossible otherwise.
 #pragma once
 
 #include <string>
@@ -23,10 +27,20 @@ enum class WarningClass : std::uint8_t {
 
 const char* warning_class_name(WarningClass w);
 
+enum class Severity : std::uint8_t {
+  kDefinite,  ///< the engine proves the racy interleaving exists.
+  kPossible,  ///< conservative: imprecision may explain the finding.
+};
+
+const char* severity_name(Severity severity);
+
 struct StaticWarning {
   WarningClass cls = WarningClass::kInitialization;
+  Severity severity = Severity::kPossible;
   int line = 0;
   std::string site;     ///< callsite label (may be empty for whole-program).
+  std::string site2;    ///< second site of a pair finding ("" for self/solo).
+  std::string witness;  ///< shortest entry->site line path from the engine.
   std::string message;
 
   std::string to_string() const;

@@ -1,0 +1,84 @@
+#include "src/sast/static_lockset.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace home::sast {
+
+std::string canonical_critical_name(const std::string& parsed_name) {
+  return parsed_name.empty() ? kUnnamedCriticalLock : parsed_name;
+}
+
+void LockState::meet(const LockState& other) {
+  if (other.top) return;
+  if (top) {
+    top = false;
+    locks = other.locks;
+    return;
+  }
+  std::set<std::string> out;
+  std::set_intersection(locks.begin(), locks.end(), other.locks.begin(),
+                        other.locks.end(), std::inserter(out, out.begin()));
+  locks = std::move(out);
+}
+
+namespace {
+
+/// The out-state of a node: the in-state plus the node's own gen/kill.
+LockState transfer(const CfgNode& node, LockState state) {
+  if (state.top) return state;
+  switch (node.kind) {
+    case CfgNodeKind::kOmpCriticalBegin:
+      state.locks.insert(canonical_critical_name(node.label));
+      break;
+    case CfgNodeKind::kOmpCriticalEnd:
+      state.locks.erase(canonical_critical_name(node.label));
+      break;
+    default:
+      break;
+  }
+  return state;
+}
+
+}  // namespace
+
+std::vector<LockState> compute_must_locksets(
+    const Cfg& cfg, const std::set<std::string>& entry_locks) {
+  const std::size_t n = cfg.nodes().size();
+  std::vector<LockState> in(n);
+  if (n == 0 || cfg.entry() < 0) return in;
+
+  in[static_cast<std::size_t>(cfg.entry())] =
+      LockState{/*top=*/false, entry_locks};
+
+  // Worklist fixed point.  The lattice is finite (subsets of the critical
+  // names appearing in the function plus the entry locks) and meet only
+  // shrinks sets, so termination is immediate.
+  std::deque<int> work;
+  std::vector<char> queued(n, 0);
+  work.push_back(cfg.entry());
+  queued[static_cast<std::size_t>(cfg.entry())] = 1;
+
+  while (!work.empty()) {
+    const int id = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(id)] = 0;
+    const CfgNode& node = cfg.node(id);
+    const LockState out = transfer(node, in[static_cast<std::size_t>(id)]);
+    for (int succ : node.succs) {
+      LockState& dst = in[static_cast<std::size_t>(succ)];
+      LockState merged = dst;
+      merged.meet(out);
+      if (!(merged == dst)) {
+        dst = std::move(merged);
+        if (!queued[static_cast<std::size_t>(succ)]) {
+          queued[static_cast<std::size_t>(succ)] = 1;
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace home::sast

@@ -6,6 +6,7 @@
 #include "src/sast/lexer.hpp"
 #include "src/sast/parser.hpp"
 #include "src/sast/rewriter.hpp"
+#include "src/sast/static_lockset.hpp"
 #include "src/util/strings.hpp"
 
 namespace home::sast {
@@ -322,6 +323,41 @@ void f() {
   ASSERT_EQ(send.critical_stack.size(), 1u);
   EXPECT_EQ(send.critical_stack[0], "mpi");
   EXPECT_TRUE(recv.critical_stack.empty());
+}
+
+TEST(Analysis, UnnamedCriticalsShareOneGlobalLock) {
+  // Per the OpenMP spec every unnamed `omp critical` maps to one global
+  // lock: two lexically distinct unnamed regions mutually exclude, so the
+  // guarded calls are serialized (and prunable under MPI_THREAD_MULTIPLE).
+  AnalysisResult result = analyze_source(R"(
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  #pragma omp parallel
+  {
+    #pragma omp critical
+    { MPI_Send(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD); }
+    #pragma omp critical
+    { MPI_Recv(&a, 1, MPI_INT, 1, 0, MPI_COMM_WORLD, st); }
+  }
+  MPI_Finalize();
+  return 0;
+}
+)");
+  const MpiCallSite* send = nullptr;
+  const MpiCallSite* recv = nullptr;
+  for (const auto& site : result.calls) {
+    if (site.routine == "MPI_Send") send = &site;
+    if (site.routine == "MPI_Recv") recv = &site;
+  }
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  ASSERT_EQ(send->critical_stack.size(), 1u);
+  EXPECT_EQ(send->critical_stack[0], kUnnamedCriticalLock);
+  EXPECT_EQ(send->locks, recv->locks);
+  EXPECT_EQ(send->locks.count(kUnnamedCriticalLock), 1u);
+  EXPECT_TRUE(send->pruned);
+  EXPECT_TRUE(recv->pruned);
+  EXPECT_EQ(result.plan.instrumented_calls, 0u);
 }
 
 TEST(Analysis, InterproceduralParallelCallees) {

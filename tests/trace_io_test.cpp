@@ -141,6 +141,56 @@ TEST(PlanIo, RoundTripsLabels) {
   std::remove(path.c_str());
 }
 
+TEST(PlanIo, RoundTripsPruneReasons) {
+  sast::InstrPlan plan;
+  plan.instrument = {"main:10:MPI_Recv"};
+  plan.pruned = {{"main:12:MPI_Send", "critical-guarded(net)"},
+                 {"halo:4:MPI_Wait", "barrier-separated"}};
+  plan.total_calls = 4;
+  plan.instrumented_calls = 1;
+  plan.filtered_calls = 1;
+  plan.pruned_calls = 2;
+
+  const std::string path = testing::TempDir() + "/home_plan_v2_test.txt";
+  sast::save_plan_file(path, plan);
+  const sast::InstrPlan loaded = sast::load_plan_file(path);
+  EXPECT_EQ(loaded.instrument, plan.instrument);
+  EXPECT_EQ(loaded.pruned, plan.pruned);
+  EXPECT_EQ(loaded.total_calls, 4u);
+  EXPECT_EQ(loaded.instrumented_calls, 1u);
+  EXPECT_EQ(loaded.filtered_calls, 1u);
+  EXPECT_EQ(loaded.pruned_calls, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, LoadsLegacyV1Format) {
+  const std::string path = testing::TempDir() + "/home_plan_v1_test.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("#home-plan v1\nmain:10:MPI_Recv\nhalo:4:MPI_Send\n", f);
+    std::fclose(f);
+  }
+  const sast::InstrPlan loaded = sast::load_plan_file(path);
+  EXPECT_EQ(loaded.instrument,
+            (std::set<std::string>{"main:10:MPI_Recv", "halo:4:MPI_Send"}));
+  EXPECT_TRUE(loaded.pruned.empty());
+  EXPECT_EQ(loaded.total_calls, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, LoadRejectsGarbageBodyLine) {
+  const std::string path = testing::TempDir() + "/home_plan_badline_test.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("#home-plan v2 total=1 instrumented=1 filtered=0 pruned=0\n"
+               "frobnicate main:10:MPI_Recv\n",
+               f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(sast::load_plan_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(PlanIo, LoadRejectsGarbage) {
   const std::string path = testing::TempDir() + "/home_plan_bad.txt";
   {
