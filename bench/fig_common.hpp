@@ -11,9 +11,73 @@
 
 #include "src/apps/app.hpp"
 #include "src/apps/toolrun.hpp"
+#include "src/trace/event.hpp"
 #include "src/util/flags.hpp"
+#include "src/util/rng.hpp"
 
 namespace home::bench {
+
+// ------------------------------------------------ synthetic trace builders
+// Shared by bench_detect_scaling (the ISSUE-1 sweeps) and bench_obs (the
+// telemetry-overhead gate), so both benches measure the same workload.
+
+/// Barrier-phased race-free trace: in every phase each variable is written by
+/// exactly one thread (rotating across phases), then all threads arrive at a
+/// barrier.  Every cross-thread access pair is barrier-ordered, so there are
+/// no races: the pairwise engine can never early-break on its pair cap and
+/// pays the full O(k^2) vector-clock comparisons per variable — exactly the
+/// NPB-style long-clean-trace shape that motivated the frontier detector.
+inline std::vector<trace::Event> phased_trace(std::size_t events_per_var,
+                                              int threads, int vars) {
+  std::vector<trace::Event> events;
+  const std::size_t phases = events_per_var;
+  events.reserve(phases * static_cast<std::size_t>(threads + vars));
+  trace::Seq seq = 1;
+  for (std::size_t phase = 0; phase < phases; ++phase) {
+    for (int v = 0; v < vars; ++v) {
+      trace::Event e;
+      e.seq = seq++;
+      e.tid = static_cast<trace::Tid>(
+          (phase + static_cast<std::size_t>(v)) %
+          static_cast<std::size_t>(threads));
+      e.kind = trace::EventKind::kMemWrite;
+      e.obj = 100 + static_cast<trace::ObjId>(v);
+      events.push_back(std::move(e));
+    }
+    for (int t = 0; t < threads; ++t) {
+      trace::Event e;
+      e.seq = seq++;
+      e.tid = t;
+      e.kind = trace::EventKind::kBarrier;
+      e.obj = 9000 + static_cast<trace::ObjId>(phase);
+      e.aux = static_cast<std::uint64_t>(threads);
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
+/// Racy variant: no barriers, mixed locksets — verdicts are non-trivial.
+inline std::vector<trace::Event> racy_trace(std::size_t events_per_var,
+                                            int threads, int vars,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<trace::Event> events;
+  const std::size_t total = events_per_var * static_cast<std::size_t>(vars);
+  events.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    trace::Event e;
+    e.seq = static_cast<trace::Seq>(i + 1);
+    e.tid = static_cast<trace::Tid>(rng.next_below(
+        static_cast<std::uint64_t>(threads)));
+    e.kind = rng.next_bool(0.7) ? trace::EventKind::kMemWrite
+                                : trace::EventKind::kMemRead;
+    e.obj = 100 + rng.next_below(static_cast<std::uint64_t>(vars));
+    if (rng.next_bool(0.4)) e.locks_held = {500 + rng.next_below(2)};
+    events.push_back(std::move(e));
+  }
+  return events;
+}
 
 /// Builds one flat JSON object and prints it as a single line, e.g.
 ///   JsonRow("detect_scaling").field("algo", "frontier")

@@ -7,11 +7,14 @@
 // clean.
 //
 //   ./quickstart [--nranks=2] [--nthreads=2]
+//                [--trace-out=trace.json] [--telemetry-json=telemetry.json]
 #include <cstdio>
+#include <string>
 
 #include "src/home/check.hpp"
 #include "src/homp/runtime.hpp"
 #include "src/homp/worksharing.hpp"
+#include "src/obs/export.hpp"
 #include "src/util/flags.hpp"
 
 namespace {
@@ -62,6 +65,18 @@ int main(int argc, char** argv) {
   std::printf("=== repaired: MPI_Init_thread(MPI_THREAD_MULTIPLE) ===\n");
   auto fixed = check_program(cfg, [](Process& p) { figure1_body(p, true); });
   std::printf("%s\n", fixed.report.to_string().c_str());
+
+  const std::string trace_out = flags.get("trace-out", "");
+  if (!trace_out.empty()) {
+    home::obs::write_chrome_trace(trace_out);
+    std::printf("wrote Chrome trace to %s (load in ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  const std::string telemetry_out = flags.get("telemetry-json", "");
+  if (!telemetry_out.empty()) {
+    home::obs::write_telemetry_json(telemetry_out);
+    std::printf("wrote telemetry snapshot to %s\n", telemetry_out.c_str());
+  }
 
   const bool ok = !buggy.report.clean() && fixed.report.clean();
   std::printf("quickstart: %s\n", ok ? "OK (bug flagged, fix clean)" : "UNEXPECTED");

@@ -6,6 +6,7 @@
 #include "src/baselines/marmot.hpp"
 #include "src/home/session.hpp"
 #include "src/homp/runtime.hpp"
+#include "src/obs/span.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/strings.hpp"
 
@@ -49,7 +50,11 @@ ToolRunResult run_home(const AppConfig& cfg) {
   session.attach(universe);
   homp::set_default_threads(cfg.nthreads);
   util::Stopwatch timer;
-  result.run = universe.run([&](simmpi::Process& p) { run_app_rank(cfg, p); });
+  {
+    obs::Span span("toolrun.execute");
+    result.run =
+        universe.run([&](simmpi::Process& p) { run_app_rank(cfg, p); });
+  }
   result.run_seconds = timer.elapsed_seconds();
   session.detach(universe);
   util::Stopwatch analysis;

@@ -50,6 +50,7 @@ VariableVerdict frontier_sweep_variable(const HbIndex& hb,
                      candidates.end());
 
     for (const std::size_t j : candidates) {
+      ++verdict.pairs_checked;
       if (!accesses_racy(cfg.mode, hb, j, i)) continue;
       verdict.concurrent = true;
       if (cfg.max_pairs_per_var != 0 &&

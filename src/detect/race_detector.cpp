@@ -5,8 +5,32 @@
 #include <thread>
 
 #include "src/detect/frontier.hpp"
+#include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
 
 namespace home::detect {
+
+namespace {
+
+// Detector telemetry (DESIGN.md §9).  Pair counts are accumulated locally in
+// each VariableVerdict and folded in ONE add per analyze() call — a per-pair
+// atomic would serialize the O(k²)/frontier inner loops across workers.
+struct DetectMetrics {
+  obs::Counter& vars = obs::Registry::global().counter("detect.vars_swept");
+  obs::Counter& checked =
+      obs::Registry::global().counter("detect.pairs_checked");
+  obs::Counter& pruned = obs::Registry::global().counter("detect.pairs_pruned");
+  obs::Counter& found = obs::Registry::global().counter("detect.pairs_found");
+  obs::Histogram& sweep_ns =
+      obs::Registry::global().histogram("detect.var_sweep_ns");
+};
+
+DetectMetrics& detect_metrics() {
+  static DetectMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* detector_mode_name(DetectorMode mode) {
   switch (mode) {
@@ -72,6 +96,7 @@ VariableVerdict pairwise_sweep_variable(const HbIndex& hb,
   const bool capped = cfg.max_pairs_per_var != 0;
   for (std::size_t a = 0; a < indices.size(); ++a) {
     for (std::size_t b = a + 1; b < indices.size(); ++b) {
+      ++verdict.pairs_checked;
       if (!accesses_racy(cfg.mode, hb, indices[a], indices[b])) continue;
       verdict.concurrent = true;
       verdict.pairs.push_back(ConcurrentPair{indices[a], indices[b],
@@ -106,7 +131,12 @@ ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const 
   // ablation additionally treats release->acquire as ordering.
   HappensBeforeConfig hb_cfg;
   hb_cfg.lock_edges = (cfg_.mode == DetectorMode::kHbOnly);
-  HbIndex hb = HappensBeforeAnalysis(hb_cfg).run(std::move(events));
+  HbIndex hb = [&] {
+    obs::Span span("detect.hb");
+    return HappensBeforeAnalysis(hb_cfg).run(std::move(events));
+  }();
+
+  obs::Span sweep_span("detect.sweep");
 
   // Group access-event indices by variable (seq order preserved).
   std::map<trace::ObjId, std::vector<std::size_t>> by_var;
@@ -134,11 +164,19 @@ ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const 
   nworkers = std::min(nworkers, vars.size());
   if (total_accesses < kParallelAnalysisThreshold) nworkers = 1;
 
+  // Time individual sweeps only when telemetry is on: two clock reads per
+  // variable are cheap, but the disabled path should not touch the clock.
+  const bool timed = obs::enabled();
   auto sweep_range = [&](std::atomic<std::size_t>* next) {
     for (std::size_t k = next->fetch_add(1, std::memory_order_relaxed);
          k < vars.size();
          k = next->fetch_add(1, std::memory_order_relaxed)) {
+      const std::uint64_t t0 = timed ? obs::now_ns() : 0;
       results[k] = sweep_variable(hb, cfg_, vars[k]->first, vars[k]->second);
+      if (timed) {
+        detect_metrics().sweep_ns.observe(
+            static_cast<double>(obs::now_ns() - t0));
+      }
     }
   };
 
@@ -154,10 +192,25 @@ ConcurrencyReport RaceDetector::analyze(std::vector<trace::Event> events) const 
     for (std::thread& worker : workers) worker.join();
   }
 
+  // One batched fold of the per-variable tallies into the registry.
+  // `pruned` is the gap to the exhaustive k*(k-1)/2 enumeration — pairs the
+  // frontier structure or an early exit made it unnecessary to compare.
+  std::size_t checked = 0;
+  std::size_t found = 0;
+  std::size_t exhaustive = 0;
   std::map<trace::ObjId, VariableVerdict> verdicts;
   for (std::size_t k = 0; k < vars.size(); ++k) {
+    checked += results[k].pairs_checked;
+    found += results[k].pairs.size();
+    const std::size_t n = vars[k]->second.size();
+    exhaustive += n * (n - 1) / 2;
     verdicts.emplace_hint(verdicts.end(), vars[k]->first, std::move(results[k]));
   }
+  DetectMetrics& metrics = detect_metrics();
+  metrics.vars.add(vars.size());
+  metrics.checked.add(checked);
+  metrics.found.add(found);
+  if (exhaustive > checked) metrics.pruned.add(exhaustive - checked);
 
   return ConcurrencyReport(std::move(hb), std::move(verdicts), cfg_.mode);
 }

@@ -55,6 +55,10 @@ struct VariableVerdict {
   trace::ObjId var = 0;
   bool concurrent = false;
   std::vector<ConcurrentPair> pairs;
+  /// Pairwise accesses_racy() evaluations this sweep actually performed —
+  /// the frontier algorithm and early exits make this far smaller than the
+  /// k*(k-1)/2 ceiling; the gap feeds `detect.pairs_pruned` (DESIGN.md §9).
+  std::size_t pairs_checked = 0;
 };
 
 /// Result of a detector run: per-variable verdicts plus the HB index needed

@@ -1,8 +1,12 @@
 #include "src/home/html_report.hpp"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/obs/export.hpp"
+#include "src/obs/telemetry.hpp"
 
 namespace home {
 namespace {
@@ -29,6 +33,65 @@ const char* badge_color(Confirmation confirmation) {
     case Confirmation::kStaticOnly: return "#f9a825";   // amber.
   }
   return "#9e9e9e";
+}
+
+// "Pipeline health": the tool's own telemetry — non-zero registry metrics
+// and the per-phase span timings — so a report reader can judge whether the
+// detection run itself behaved (queue drops, prune ratios, phase costs).
+void render_pipeline_health(std::ostringstream& os) {
+  const std::vector<obs::MetricRow> rows = obs::Registry::global().snapshot();
+  const std::vector<obs::SpanAggregate> spans = obs::aggregate_spans();
+  bool any = false;
+  for (const obs::MetricRow& row : rows) {
+    if (row.kind == obs::MetricRow::Kind::kCounter && row.count != 0) any = true;
+    if (row.kind == obs::MetricRow::Kind::kGauge && row.high_water != 0)
+      any = true;
+    if (row.kind == obs::MetricRow::Kind::kHistogram && row.hist.count != 0)
+      any = true;
+  }
+  if (!any && spans.empty()) return;
+
+  os << "<h2>Pipeline health</h2>\n";
+  if (any) {
+    os << "<table>\n<tr><th>metric</th><th>value</th><th>high water</th>"
+       << "</tr>\n";
+    for (const obs::MetricRow& row : rows) {
+      switch (row.kind) {
+        case obs::MetricRow::Kind::kCounter:
+          if (row.count == 0) continue;
+          os << "<tr><td><code>" << html_escape(row.name) << "</code></td><td>"
+             << row.count << "</td><td>&mdash;</td></tr>\n";
+          break;
+        case obs::MetricRow::Kind::kGauge:
+          if (row.value == 0 && row.high_water == 0) continue;
+          os << "<tr><td><code>" << html_escape(row.name) << "</code></td><td>"
+             << row.value << "</td><td>" << row.high_water << "</td></tr>\n";
+          break;
+        case obs::MetricRow::Kind::kHistogram:
+          if (row.hist.count == 0) continue;
+          os << "<tr><td><code>" << html_escape(row.name) << "</code></td><td>"
+             << "n=" << row.hist.count << " mean=" << std::fixed
+             << std::setprecision(1) << row.hist.mean
+             << " p95=" << row.hist.p95 << std::defaultfloat
+             << "</td><td>" << std::fixed << std::setprecision(1)
+             << row.hist.max << std::defaultfloat << "</td></tr>\n";
+          break;
+      }
+    }
+    os << "</table>\n";
+  }
+  if (!spans.empty()) {
+    os << "<table>\n<tr><th>phase</th><th>count</th><th>total ms</th>"
+       << "<th>mean ms</th><th>max ms</th></tr>\n";
+    os << std::fixed << std::setprecision(3);
+    for (const obs::SpanAggregate& s : spans) {
+      os << "<tr><td><code>" << html_escape(s.name) << "</code></td><td>"
+         << s.count << "</td><td>" << s.total_ms << "</td><td>" << s.mean_ms
+         << "</td><td>" << s.max_ms << "</td></tr>\n";
+    }
+    os << std::defaultfloat;
+    os << "</table>\n";
+  }
 }
 
 void render_sites(std::ostringstream& os, const std::vector<std::string>& sites) {
@@ -92,6 +155,7 @@ std::string render_html(const FinalReport& final_report, const ReportStats& stat
     }
     os << "</table>\n";
   }
+  render_pipeline_health(os);
   os << "<p class=\"stats\">generated by HOME (CLUSTER'15 reproduction)</p>\n";
   os << "</body></html>\n";
   return os.str();

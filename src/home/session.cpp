@@ -1,8 +1,11 @@
 #include "src/home/session.hpp"
 
 #include <set>
+#include <string>
 
 #include "src/homp/runtime.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/span.hpp"
 #include "src/spec/matcher.hpp"
 #include "src/spec/monitored.hpp"
 #include "src/trace/trace_io.hpp"
@@ -75,11 +78,26 @@ std::vector<spec::MessageRace> Session::message_races() {
   return spec::find_message_races(concurrency, &log_.strings());
 }
 
+namespace {
+
+// Post-mortem twin of ViolationStream's instants: pin each detection on the
+// span timeline so the Chrome trace shows what fired, and when.
+void mark_violations(const std::vector<spec::Violation>& violations) {
+  for (const spec::Violation& v : violations) {
+    std::string mark = "violation: ";
+    mark += spec::violation_type_name(v.type);
+    obs::instant(mark, v.to_string());
+  }
+}
+
+}  // namespace
+
 Report Session::analyze() {
   if (cfg_.mode == AnalysisMode::kOnline && analyzer_) {
     return analyze_online();
   }
 
+  obs::Span span("session.analyze");
   util::Stopwatch timer;
 
   detect::RaceDetector detector(make_detector_config(cfg_));
@@ -87,6 +105,7 @@ Report Session::analyze() {
 
   spec::Matcher matcher(&log_.strings());
   std::vector<spec::Violation> violations = matcher.match(concurrency);
+  mark_violations(violations);
 
   ReportStats stats;
   stats.trace_events = log_.size();
@@ -104,6 +123,7 @@ Report Session::analyze() {
 }
 
 Report Session::analyze_online() {
+  obs::Span span("session.analyze");
   util::Stopwatch timer;
 
   // Stop subscribing and drain the streaming engine.
@@ -151,5 +171,7 @@ Report Session::analyze_online() {
   stats.analysis_seconds = timer.elapsed_seconds();
   return Report(std::move(violations), stats);
 }
+
+std::string Session::telemetry_summary() const { return obs::summary_table(); }
 
 }  // namespace home

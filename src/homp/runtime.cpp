@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/homp/team.hpp"
+#include "src/obs/span.hpp"
 #include "src/simmpi/universe.hpp"
 
 namespace home::homp {
@@ -90,6 +91,7 @@ void team_barrier(Team* team) {
 void barrier() { internal::team_barrier(internal::current_team()); }
 
 void parallel(int nthreads, const std::function<void()>& body) {
+  obs::Span span("omp.parallel");
   const int n = nthreads > 0 ? nthreads : default_threads();
   const std::uint64_t team_id = g_team_counter.fetch_add(1);
   internal::Team team(n, team_id);

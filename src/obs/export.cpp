@@ -1,0 +1,274 @@
+#include "src/obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
+#include "src/util/stats.hpp"
+
+namespace home::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+double ns_to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Prometheus metric name: home_ prefix, [a-z0-9_] only.
+std::string prom_name(const std::string& name) {
+  std::string out = "home_";
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(std::tolower(c))
+                      : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<FinishedSpan> spans = collect_spans();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // One thread_name metadata row per thread; the sort index keeps the rank
+  // threads above the analyzer thread in the Perfetto track list.
+  std::map<int, std::string> threads;
+  for (const FinishedSpan& s : spans) threads[s.display_tid] = s.thread;
+  for (const auto& [tid, label] : threads) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(label) << "\"}}";
+  }
+
+  for (const FinishedSpan& s : spans) {
+    comma();
+    if (s.is_instant) {
+      os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << s.display_tid
+         << ",\"name\":\"" << json_escape(s.name)
+         << "\",\"ts\":" << fmt_double(ns_to_us(s.start_ns));
+      if (!s.detail.empty()) {
+        os << ",\"args\":{\"detail\":\"" << json_escape(s.detail) << "\"}";
+      }
+      os << "}";
+    } else {
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.display_tid
+         << ",\"name\":\"" << json_escape(s.name)
+         << "\",\"ts\":" << fmt_double(ns_to_us(s.start_ns))
+         << ",\"dur\":" << fmt_double(ns_to_us(s.dur_ns)) << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  out << chrome_trace_json() << "\n";
+}
+
+std::vector<SpanAggregate> aggregate_spans() {
+  // Fold each span name's durations through util::Accumulator — the shared
+  // statistics kernel — then flatten for the tables.
+  std::map<std::string, util::Accumulator> acc;
+  for (const FinishedSpan& s : collect_spans()) {
+    if (s.is_instant) continue;
+    acc[s.name].add(ns_to_ms(s.dur_ns));
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(acc.size());
+  for (const auto& [name, a] : acc) {
+    SpanAggregate agg;
+    agg.name = name;
+    agg.count = a.count();
+    agg.total_ms = a.mean() * static_cast<double>(a.count());
+    agg.mean_ms = a.mean();
+    agg.min_ms = a.min();
+    agg.max_ms = a.max();
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+std::string telemetry_json() {
+  const std::vector<MetricRow> rows = Registry::global().snapshot();
+  std::ostringstream os;
+  os << "{\"telemetry\":{\"enabled\":" << (enabled() ? "true" : "false");
+
+  const auto emit_kind = [&](const char* key, MetricRow::Kind kind,
+                             auto&& body) {
+    os << ",\"" << key << "\":{";
+    bool first = true;
+    for (const MetricRow& row : rows) {
+      if (row.kind != kind) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(row.name) << "\":";
+      body(row);
+    }
+    os << "}";
+  };
+
+  emit_kind("counters", MetricRow::Kind::kCounter,
+            [&](const MetricRow& row) { os << row.count; });
+  emit_kind("gauges", MetricRow::Kind::kGauge, [&](const MetricRow& row) {
+    os << "{\"value\":" << row.value << ",\"high_water\":" << row.high_water
+       << "}";
+  });
+  emit_kind("histograms", MetricRow::Kind::kHistogram,
+            [&](const MetricRow& row) {
+              const HistogramSnapshot& h = row.hist;
+              os << "{\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum)
+                 << ",\"mean\":" << fmt_double(h.mean)
+                 << ",\"stddev\":" << fmt_double(h.stddev)
+                 << ",\"min\":" << fmt_double(h.min)
+                 << ",\"max\":" << fmt_double(h.max)
+                 << ",\"p50\":" << fmt_double(h.p50)
+                 << ",\"p95\":" << fmt_double(h.p95)
+                 << ",\"p99\":" << fmt_double(h.p99) << "}";
+            });
+
+  os << ",\"spans\":{";
+  bool first = true;
+  for (const SpanAggregate& agg : aggregate_spans()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(agg.name) << "\":{\"count\":" << agg.count
+       << ",\"total_ms\":" << fmt_double(agg.total_ms)
+       << ",\"mean_ms\":" << fmt_double(agg.mean_ms)
+       << ",\"min_ms\":" << fmt_double(agg.min_ms)
+       << ",\"max_ms\":" << fmt_double(agg.max_ms) << "}";
+  }
+  os << "}}}";
+  return os.str();
+}
+
+void write_telemetry_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open telemetry file " + path);
+  out << telemetry_json() << "\n";
+}
+
+std::string prometheus_text() {
+  std::ostringstream os;
+  for (const MetricRow& row : Registry::global().snapshot()) {
+    const std::string name = prom_name(row.name);
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << row.count << "\n";
+        break;
+      case MetricRow::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << row.value << "\n"
+           << "# TYPE " << name << "_high_water gauge\n"
+           << name << "_high_water " << row.high_water << "\n";
+        break;
+      case MetricRow::Kind::kHistogram: {
+        const HistogramSnapshot& h = row.hist;
+        os << "# TYPE " << name << " summary\n"
+           << name << "_count " << h.count << "\n"
+           << name << "_sum " << fmt_double(h.sum) << "\n"
+           << name << "{quantile=\"0.5\"} " << fmt_double(h.p50) << "\n"
+           << name << "{quantile=\"0.95\"} " << fmt_double(h.p95) << "\n"
+           << name << "{quantile=\"0.99\"} " << fmt_double(h.p99) << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string summary_table() {
+  std::ostringstream os;
+  constexpr int kWidth = 36;
+  os << "--- telemetry (" << (enabled() ? "enabled" : "disabled") << ") ---\n";
+  for (const MetricRow& row : Registry::global().snapshot()) {
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        if (row.count == 0) continue;
+        os << util::table_row({row.name, std::to_string(row.count)}, kWidth)
+           << "\n";
+        break;
+      case MetricRow::Kind::kGauge:
+        if (row.value == 0 && row.high_water == 0) continue;
+        os << util::table_row({row.name, std::to_string(row.value) + " (hwm " +
+                                             std::to_string(row.high_water) +
+                                             ")"},
+                              kWidth)
+           << "\n";
+        break;
+      case MetricRow::Kind::kHistogram: {
+        if (row.hist.count == 0) continue;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "n=%zu mean=%.3g p95=%.3g max=%.3g",
+                      static_cast<std::size_t>(row.hist.count), row.hist.mean,
+                      row.hist.p95, row.hist.max);
+        os << util::table_row({row.name, buf}, kWidth) << "\n";
+        break;
+      }
+    }
+  }
+  const std::vector<SpanAggregate> spans = aggregate_spans();
+  if (!spans.empty()) {
+    os << util::table_row({"span", "count", "total ms", "mean ms", "max ms"},
+                          16)
+       << "\n";
+    for (const SpanAggregate& agg : spans) {
+      char count_buf[32], total_buf[32], mean_buf[32], max_buf[32];
+      std::snprintf(count_buf, sizeof(count_buf), "%zu", agg.count);
+      std::snprintf(total_buf, sizeof(total_buf), "%.3f", agg.total_ms);
+      std::snprintf(mean_buf, sizeof(mean_buf), "%.3f", agg.mean_ms);
+      std::snprintf(max_buf, sizeof(max_buf), "%.3f", agg.max_ms);
+      os << util::table_row(
+                {agg.name.size() > 15 ? agg.name.substr(0, 15) : agg.name,
+                 count_buf, total_buf, mean_buf, max_buf},
+                16)
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace home::obs

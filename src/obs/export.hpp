@@ -1,0 +1,49 @@
+// Telemetry exporters (ISSUE-4): the four surfaces a run's self-observation
+// leaves behind —
+//   * Chrome trace-event JSON (chrome://tracing / Perfetto) of every span
+//     ring on one timeline, violations as instant events;
+//   * a machine-readable JSON snapshot (`--telemetry-json`);
+//   * Prometheus-style text exposition;
+//   * a human end-of-run summary table (Session::telemetry_summary, the
+//     bench drivers, and html_report's "Pipeline health" section).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace home::obs {
+
+/// Chrome trace-event JSON of all recorded spans and instants:
+/// {"displayTimeUnit":"ms","traceEvents":[...]} with one "M" thread_name
+/// metadata row per thread, "X" complete events for spans, and "i" instant
+/// events.  Loadable in chrome://tracing and ui.perfetto.dev.
+std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+/// Machine-readable snapshot: {"telemetry":{"enabled":...,"counters":{...},
+/// "gauges":{...},"histograms":{...},"spans":{...}}}.
+std::string telemetry_json();
+void write_telemetry_json(const std::string& path);
+
+/// Prometheus text exposition (home_ prefix, metric names with dots mapped
+/// to underscores; gauges additionally export a _high_water series).
+std::string prometheus_text();
+
+/// Per-name span aggregate for the summary surfaces (durations folded
+/// through util::Accumulator).
+struct SpanAggregate {
+  std::string name;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+std::vector<SpanAggregate> aggregate_spans();
+
+/// Human-readable end-of-run table: non-zero registry metrics followed by
+/// the span aggregates.
+std::string summary_table();
+
+}  // namespace home::obs

@@ -1,0 +1,66 @@
+// RAII phase timers ("spans") and instant events, recorded into per-thread
+// ring buffers and exportable as Chrome trace-event JSON
+// (chrome://tracing / Perfetto-loadable) — rank-threads, OpenMP workers, the
+// online analyzer thread, and the offline detection phases all land on one
+// timeline, with violation detections as instant events.
+//
+// A span is cheap enough for phase granularity (two steady_clock reads and
+// one push under an uncontended per-thread mutex); with telemetry disabled
+// it costs the single relaxed-atomic branch of obs::enabled().  Rings are
+// bounded (kRingCapacity records per thread); once full the oldest records
+// are overwritten and counted in `obs.spans.dropped`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace home::obs {
+
+/// Nanoseconds since the process's telemetry epoch (first call).
+std::uint64_t now_ns();
+
+/// RAII phase timer: records [construction, destruction) on the calling
+/// thread's ring.  `name` must outlive the span (string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Zero-duration marker on the calling thread's timeline (Chrome "i" phase).
+/// Violation detections are reported this way.
+void instant(const std::string& name, const std::string& detail = {});
+
+/// One completed span / instant, flattened for the exporters.
+struct FinishedSpan {
+  std::string thread;       ///< thread label at record time ("rank0.main").
+  int display_tid = 0;      ///< dense per-thread id for the trace "tid".
+  std::string name;
+  std::string detail;       ///< instants only; rendered as args.detail.
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  bool is_instant = false;
+};
+
+/// Snapshot of every thread's ring, start-time-sorted.  Safe to call while
+/// other threads are still recording.
+std::vector<FinishedSpan> collect_spans();
+
+/// Records dropped to ring overwrite since the last reset (all threads).
+std::uint64_t spans_dropped();
+
+/// Drop all recorded spans (rings stay registered) — tests and benches.
+void reset_spans();
+
+/// Records per thread before the ring starts overwriting.
+inline constexpr std::size_t kRingCapacity = 8192;
+
+}  // namespace home::obs

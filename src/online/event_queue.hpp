@@ -6,14 +6,23 @@
 //   * kBlock — the emitting thread waits for space.  This is the default and
 //     the only policy under which the online verdicts are provably identical
 //     to the post-mortem ones: no event is ever lost.  The consumer never
-//     emits trace events, so blocking cannot deadlock.
+//     emits trace events, so blocking cannot deadlock.  Time spent waiting
+//     is accounted (blocked_ns / `online.queue.blocked_ns`) so overhead
+//     investigations can tell backpressure stalls from analysis cost.
 //   * kDropNewest — the incoming event is discarded and counted.  Keeps the
 //     application unthrottled at the cost of completeness (online verdicts
 //     become a subset); reconciliation reports the gap.
+//
+// Drops are accounted by cause: `capacity` (kDropNewest on a full queue) vs
+// `shutdown` (push after close(), any policy).  The split is mirrored into
+// the telemetry registry (`online.queue.drops.capacity` / `.shutdown`) —
+// a capacity drop means the analyzer cannot keep up, a shutdown drop means
+// an emitter outlived the session teardown; conflating them hid the former.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 
@@ -30,8 +39,7 @@ const char* backpressure_policy_name(BackpressurePolicy policy);
 
 class EventQueue {
  public:
-  EventQueue(std::size_t capacity, BackpressurePolicy policy)
-      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+  EventQueue(std::size_t capacity, BackpressurePolicy policy);
 
   /// Enqueue one event.  Returns false if the event was dropped (kDropNewest
   /// on a full queue) or the queue is closed.
@@ -44,7 +52,10 @@ class EventQueue {
   /// No more pushes; pending events remain poppable.
   void close();
 
-  std::size_t dropped() const;
+  std::size_t dropped() const;           ///< total, both causes.
+  std::size_t dropped_capacity() const;  ///< full queue under kDropNewest.
+  std::size_t dropped_shutdown() const;  ///< push after close().
+  std::uint64_t blocked_ns() const;      ///< producer wait time (kBlock).
   std::size_t max_depth() const;
   std::size_t depth() const;
 
@@ -56,7 +67,9 @@ class EventQueue {
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
   bool closed_ = false;
-  std::size_t dropped_ = 0;
+  std::size_t dropped_capacity_ = 0;
+  std::size_t dropped_shutdown_ = 0;
+  std::uint64_t blocked_ns_ = 0;
   std::size_t max_depth_ = 0;
 };
 

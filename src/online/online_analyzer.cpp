@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/spec/monitored.hpp"
+#include "src/util/log.hpp"
 
 namespace home::online {
 
 namespace {
+
+// Analyzer-side telemetry (DESIGN.md §9).  `online.watermark.lag` tracks how
+// many events have been analyzed since the last retirement checkpoint — it is
+// bounded by retire_interval whenever retirement is active, so its high-water
+// mark doubles as a liveness assertion for the epoch machinery.
+struct AnalyzerMetrics {
+  obs::Counter& events =
+      obs::Registry::global().counter("online.events_analyzed");
+  obs::Counter& epochs =
+      obs::Registry::global().counter("online.epochs_retired");
+  obs::Counter& records =
+      obs::Registry::global().counter("online.records_retired");
+  obs::Gauge& lag = obs::Registry::global().gauge("online.watermark.lag");
+  obs::Gauge& resident = obs::Registry::global().gauge("online.resident");
+};
+
+AnalyzerMetrics& analyzer_metrics() {
+  static AnalyzerMetrics m;
+  return m;
+}
 
 detect::HappensBeforeConfig hb_config_for(const detect::RaceDetectorConfig& d) {
   // Mirror RaceDetector::analyze: lock edges only under the pure-HB
@@ -40,12 +63,15 @@ OnlineAnalyzer::~OnlineAnalyzer() { finish(); }
 void OnlineAnalyzer::on_event(const trace::Event& e) { queue_.push(e); }
 
 void OnlineAnalyzer::run() {
+  util::set_current_thread_name("analyzer");
+  obs::Span span("online.analyze");
   trace::Event e;
   while (queue_.pop(&e)) process(e);
 }
 
 void OnlineAnalyzer::process(const trace::Event& e) {
   const detect::VectorClock& stamp = hb_.advance(e);
+  analyzer_metrics().events.add(1);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.events_processed;
@@ -96,10 +122,17 @@ void OnlineAnalyzer::process(const trace::Event& e) {
 void OnlineAnalyzer::checkpoint() {
   const std::size_t interval =
       cfg_.retire_interval == 0 ? 1024 : cfg_.retire_interval;
+  // Watermark lag = events analyzed since the last retirement opportunity.
+  // The gauge resets to 0 at every checkpoint below, so it lives in
+  // [0, interval] and its high-water mark proves retirement keeps pace.
+  analyzer_metrics().lag.set(
+      static_cast<std::int64_t>(events_since_checkpoint_ + 1));
   if (++events_since_checkpoint_ < interval) return;
   events_since_checkpoint_ = 0;
+  analyzer_metrics().lag.set(0);
 
   const std::size_t resident = resident_state();
+  analyzer_metrics().resident.set(static_cast<std::int64_t>(resident));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.peak_resident = std::max(stats_.peak_resident, resident);
@@ -110,6 +143,7 @@ void OnlineAnalyzer::checkpoint() {
   // watermark can justify dropping a frontier record in that mode.
   if (cfg_.detector.mode == detect::DetectorMode::kLocksetOnly) return;
 
+  obs::Span span("online.retire");
   if (registry_ != nullptr) {
     const int n = registry_->thread_count();
     for (int t = 0; t < n; ++t) hb_.declare_thread(static_cast<trace::Tid>(t));
@@ -120,6 +154,8 @@ void OnlineAnalyzer::checkpoint() {
   const std::size_t reclaimed = frontier_.retire(watermark);
   hb_.retire(watermark);
   matcher_.retire(watermark);
+  analyzer_metrics().epochs.add(1);
+  analyzer_metrics().records.add(reclaimed);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.retire_sweeps;
@@ -156,6 +192,9 @@ OnlineStats OnlineAnalyzer::stats() const {
     out = stats_;
   }
   out.events_dropped = queue_.dropped();
+  out.dropped_capacity = queue_.dropped_capacity();
+  out.dropped_shutdown = queue_.dropped_shutdown();
+  out.blocked_ns = queue_.blocked_ns();
   out.max_queue_depth = queue_.max_depth();
   out.violations = stream_.recorded();
   out.duplicate_reports = stream_.duplicates();

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -60,7 +61,10 @@ struct OnlineConfig {
 
 struct OnlineStats {
   std::size_t events_processed = 0;
-  std::size_t events_dropped = 0;   ///< kDropNewest only.
+  std::size_t events_dropped = 0;   ///< total (capacity + shutdown).
+  std::size_t dropped_capacity = 0; ///< kDropNewest on a full queue.
+  std::size_t dropped_shutdown = 0; ///< emit after session teardown.
+  std::uint64_t blocked_ns = 0;     ///< producer backpressure stalls (kBlock).
   std::size_t max_queue_depth = 0;
   std::size_t retire_sweeps = 0;
   std::size_t records_retired = 0;

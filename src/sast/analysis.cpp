@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/util/strings.hpp"
 
 namespace home::sast {
@@ -279,6 +281,7 @@ std::set<std::string> compute_parallel_callees(const TranslationUnit& unit) {
 }
 
 AnalysisResult analyze(const TranslationUnit& unit) {
+  obs::Span span("sast.analyze");
   AnalysisResult result;
   result.cfgs.reserve(unit.functions.size());
   for (const Function& fn : unit.functions) {
@@ -327,6 +330,16 @@ AnalysisResult analyze(const TranslationUnit& unit) {
       ++result.plan.instrumented_calls;
     }
   }
+
+  // Batched fold into the registry (DESIGN.md §9): one add per analyze()
+  // call, counting CFG nodes visited and the plan's prune outcome.
+  std::size_t nodes = 0;
+  for (const Cfg& cfg : result.cfgs) nodes += cfg.nodes().size();
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("sast.nodes_visited").add(nodes);
+  reg.counter("sast.calls_seen").add(result.plan.total_calls);
+  reg.counter("sast.plan.pruned").add(result.plan.pruned_calls);
+  reg.counter("sast.plan.instrumented").add(result.plan.instrumented_calls);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/span.hpp"
 #include "src/util/log.hpp"
 
 namespace home::simmpi {
@@ -69,6 +70,7 @@ RunResult Universe::run(const std::function<void(Process&)>& rank_main) {
             launcher_tid, process->rank(), /*is_rank_main=*/true);
       }
       try {
+        obs::Span span("rank.main");
         rank_main(*process);
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(result_mu);

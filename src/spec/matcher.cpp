@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/simmpi/types.hpp"
 #include "src/spec/rules.hpp"
 
@@ -31,6 +33,7 @@ struct RankFacts {
 bool args_overlap(int a, int b) { return a == b || is_wildcard(a) || is_wildcard(b); }
 
 std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
+  obs::Span span("spec.match");
   stats_ = MatcherStats{};
   const HbIndex& hb = report.hb();
   const auto& events = hb.events();
@@ -65,11 +68,13 @@ std::vector<Violation> Matcher::match(const ConcurrencyReport& report) const {
 
   std::vector<Violation> out;
   std::set<std::string> seen;
+  obs::Counter& rule_hits = obs::Registry::global().counter("spec.rule_hits");
   auto add = [&](Violation v) {
     const std::string key = violation_key(v);
     if (seen.insert(key).second) {
       out.push_back(std::move(v));
       ++stats_.violations;
+      rule_hits.add(1);
     }
   };
   std::vector<Violation> scratch;

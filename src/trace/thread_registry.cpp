@@ -1,6 +1,9 @@
 #include "src/trace/thread_registry.hpp"
 
 #include <atomic>
+#include <string>
+
+#include "src/util/log.hpp"
 
 namespace home::trace {
 namespace {
@@ -37,6 +40,24 @@ Tid ThreadRegistry::register_thread(Tid parent, int rank, bool is_rank_main) {
 
 void ThreadRegistry::bind_current_thread(Tid tid) {
   tls_slot = LocalSlot{this, current_epoch(), tid};
+  // Name the thread for log lines and the telemetry span timeline:
+  // "rank0.main" / "rank1.w3" for rank-attached threads, "t<tid>" otherwise.
+  const ThreadInfo ti = info(tid);
+  std::string name;
+  if (ti.rank != kNoRank) {
+    name = "rank";
+    name += std::to_string(ti.rank);
+    if (ti.is_rank_main) {
+      name += ".main";
+    } else {
+      name += ".w";
+      name += std::to_string(tid);
+    }
+  } else {
+    name = "t";
+    name += std::to_string(tid);
+  }
+  util::set_current_thread_name(std::move(name));
 }
 
 Tid ThreadRegistry::current_tid() const {

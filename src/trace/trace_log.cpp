@@ -5,12 +5,38 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/telemetry.hpp"
+
 namespace home::trace {
+
+namespace {
+
+// Ingest-side telemetry (DESIGN.md §9).  References are process-stable, so
+// resolve them once; each hit is then one relaxed branch + relaxed add.
+struct IngestMetrics {
+  obs::Counter& events = obs::Registry::global().counter("trace.ingest.events");
+  obs::Counter& intern_hits =
+      obs::Registry::global().counter("trace.intern.hits");
+  obs::Counter& intern_misses =
+      obs::Registry::global().counter("trace.intern.misses");
+  obs::Gauge& shards = obs::Registry::global().gauge("trace.ingest.shards");
+};
+
+IngestMetrics& ingest_metrics() {
+  static IngestMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::uint32_t StringTable::intern(const std::string& s) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
-  if (it != index_.end()) return it->second;
+  if (it != index_.end()) {
+    ingest_metrics().intern_hits.add(1);
+    return it->second;
+  }
+  ingest_metrics().intern_misses.add(1);
   const auto id = static_cast<std::uint32_t>(strings_.size());
   strings_.push_back(s);
   index_.emplace(s, id);
@@ -62,6 +88,7 @@ TraceLog::Shard* TraceLog::shard_for_this_thread() {
   {
     std::lock_guard<std::mutex> lock(shards_mu_);
     shards_.push_back(std::move(shard));
+    ingest_metrics().shards.set(static_cast<std::int64_t>(shards_.size()));
   }
   ShardCacheEntry& slot = t_shard_cache[t_shard_cache_next];
   t_shard_cache_next = (t_shard_cache_next + 1) % kShardCacheSize;
@@ -71,6 +98,7 @@ TraceLog::Shard* TraceLog::shard_for_this_thread() {
 }
 
 Seq TraceLog::emit(Event e) {
+  ingest_metrics().events.add(1);
   EventSink* sink = sink_.load(std::memory_order_acquire);
   if (sink == nullptr) {
     Shard* shard = shard_for_this_thread();

@@ -1,13 +1,16 @@
 #include "src/util/log.hpp"
 
 #include <atomic>
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace home::util {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mu;
 
 const char* level_name(LogLevel level) {
@@ -22,16 +25,103 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// HOME_LOG_LEVEL is read exactly once, at the first level query; an
+/// explicit set_log_level() afterwards always wins.
+int initial_level() {
+  if (const char* env = std::getenv("HOME_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) {
+      return static_cast<int>(*parsed);
+    }
+    std::fprintf(stderr, "[WARN] HOME_LOG_LEVEL='%s' not recognized "
+                 "(want trace|debug|info|warn|error|off); using warn\n", env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{initial_level()};
+  return level;
+}
+
+struct ThreadName {
+  std::string name;
+  std::uint64_t version = 0;
+};
+
+ThreadName& thread_name_slot() {
+  thread_local ThreadName slot;
+  return slot;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level));
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '5') {
+    return static_cast<LogLevel>(lower[0] - '0');
+  }
+  return std::nullopt;
+}
+
+void set_current_thread_name(std::string name) {
+  ThreadName& slot = thread_name_slot();
+  slot.name = std::move(name);
+  ++slot.version;
+}
+
+const std::string& current_thread_name() { return thread_name_slot().name; }
+
+std::uint64_t current_thread_name_version() {
+  return thread_name_slot().version;
+}
+
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%10.3f", uptime_seconds());
+  const std::string& thread = current_thread_name();
+  std::string out;
+  out.reserve(msg.size() + 32);
+  out += "[";
+  out += stamp;
+  out += "] [";
+  out += level_name(level);
+  out += "] [";
+  out += thread.empty() ? "-" : thread;
+  out += "] ";
+  out += msg;
+  return out;
+}
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  if (static_cast<int>(level) <
+      level_store().load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::string line = format_log_line(level, msg);
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace home::util

@@ -1,9 +1,19 @@
 // Minimal leveled, thread-safe logger for the HOME toolchain.
 //
 // Every subsystem logs through this sink so that interleaved output from
-// rank-threads and OpenMP-style worker threads stays line-atomic.
+// rank-threads and OpenMP-style worker threads stays line-atomic.  Each line
+// carries a process-uptime timestamp and the emitting thread's name (set by
+// trace::ThreadRegistry when the thread registers — "rank0.main",
+// "rank1.w3" — or by subsystems directly, e.g. the online analyzer).
+//
+// The initial level comes from the HOME_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, case-insensitive, or the numeric level),
+// parsed once at first use so CLIs do not each reimplement level parsing;
+// set_log_level() overrides it.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -22,8 +32,25 @@ enum class LogLevel : int {
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parse a level name ("debug", "WARN", "3"); nullopt when unrecognized.
+std::optional<LogLevel> parse_log_level(const std::string& text);
+
 /// Emit one line (thread-safe, atomic w.r.t. other log lines).
 void log_line(LogLevel level, const std::string& msg);
+
+/// The exact line log_line would print (sans trailing newline) — split out
+/// so the format is unit-testable.
+std::string format_log_line(LogLevel level, const std::string& msg);
+
+/// Name of the calling thread, shown in log lines and the telemetry span
+/// timeline.  Thread-local; "" until set.  The version counter bumps on
+/// every set so cached consumers (obs span rings) can refresh lazily.
+void set_current_thread_name(std::string name);
+const std::string& current_thread_name();
+std::uint64_t current_thread_name_version();
+
+/// Seconds since the process's logging epoch (first use).
+double uptime_seconds();
 
 /// Stream-style helper: LogStream(kInfo) << "x=" << x;  flushes on destruction.
 class LogStream {
