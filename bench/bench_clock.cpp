@@ -1,0 +1,369 @@
+// Clock-engine bench (the ISSUE-6 tentpole): epoch stamps + interned clocks
+// vs the PR-1 full-vector baseline.
+//
+// Three experiments, each one JSON row per sweep point (stdout and
+// --json-out, default BENCH_clock.json):
+//   clock_micro     join/leq/== ns/op on vector clocks at 2..128 threads
+//   clock_sweep     end-to-end frontier detection over the barrier-phased
+//                   race-free trace (the NPB long-clean-trace shape) at 64
+//                   threads, epoch vs vector engine
+//   clock_resident  streamed frontier resident clock-bytes at 64 threads,
+//                   epoch vs vector, on both the clean and the racy trace
+//
+// Modes:
+//   bench_clock            full sweep (acceptance: >= 3x sweep speedup and
+//                          >= 5x lower resident clock-bytes at 64 threads)
+//   bench_clock --smoke    fast functional gate: engines verdict-identical,
+//                          epoch path no slower than vector, resident
+//                          clock-bytes >= 5x smaller; ctest runs this
+//
+// Knobs: --threads (default 64), --vars, --phases, --reps, --json-out.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/fig_common.hpp"
+#include "src/detect/clock_arena.hpp"
+#include "src/detect/incremental.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace home;
+
+// --------------------------------------------------------------- micro ops
+
+struct MicroTimes {
+  double join_ns = 0;
+  double leq_ns = 0;
+  double eq_ns = 0;
+  std::uint64_t sink = 0;  ///< defeats dead-code elimination; reported.
+};
+
+MicroTimes micro(int threads, int reps) {
+  util::Rng rng(static_cast<std::uint64_t>(threads) * 977 + 3);
+  detect::VectorClock a;
+  detect::VectorClock b;
+  for (int t = 0; t < threads; ++t) {
+    a.set(static_cast<trace::Tid>(t), rng.next_below(1000) + 1);
+    b.set(static_cast<trace::Tid>(t), rng.next_below(1000) + 1);
+  }
+  MicroTimes out;
+  util::Stopwatch timer;
+  for (int r = 0; r < reps; ++r) {
+    detect::VectorClock j = a;
+    j.join(b);
+    out.sink += j.get(static_cast<trace::Tid>(r % threads));
+  }
+  out.join_ns = timer.elapsed_seconds() * 1e9 / reps;
+  timer.reset();
+  for (int r = 0; r < reps; ++r) {
+    out.sink += a.leq(b) ? 1 : 0;
+    out.sink += b.leq(a) ? 1 : 0;
+  }
+  out.leq_ns = timer.elapsed_seconds() * 1e9 / (2 * reps);
+  timer.reset();
+  for (int r = 0; r < reps; ++r) out.sink += (a == b) ? 1 : 0;
+  out.eq_ns = timer.elapsed_seconds() * 1e9 / reps;
+  return out;
+}
+
+// -------------------------------------------- end-to-end frontier sweep
+
+using SeqPair = std::pair<trace::Seq, trace::Seq>;
+
+std::map<trace::ObjId, std::vector<SeqPair>> report_pairs(
+    const detect::ConcurrencyReport& report) {
+  std::map<trace::ObjId, std::vector<SeqPair>> out;
+  for (const auto& [var, verdict] : report.verdicts()) {
+    auto& pairs = out[var];
+    for (const detect::ConcurrentPair& p : verdict.pairs) {
+      pairs.emplace_back(report.hb().events()[p.first].seq,
+                         report.hb().events()[p.second].seq);
+    }
+  }
+  return out;
+}
+
+struct SweepRun {
+  double seconds = 0;
+  std::size_t pairs_checked = 0;
+  std::size_t epoch_hits = 0;
+  std::map<trace::ObjId, std::vector<SeqPair>> pairs;
+};
+
+SweepRun run_sweep(const std::vector<trace::Event>& events,
+                   detect::ClockEngine engine) {
+  detect::RaceDetectorConfig cfg;
+  cfg.clock = engine;
+  cfg.analysis_threads = 1;  // serial: measure the engine, not the pool.
+  util::Stopwatch timer;
+  const detect::ConcurrencyReport report =
+      detect::RaceDetector(cfg).analyze(events);
+  SweepRun run;
+  run.seconds = timer.elapsed_seconds();
+  for (const auto& [var, verdict] : report.verdicts()) {
+    run.pairs_checked += verdict.pairs_checked;
+    run.epoch_hits += verdict.epoch_hits;
+  }
+  run.pairs = report_pairs(report);
+  return run;
+}
+
+// ---------------------------------------- streamed resident clock-bytes
+
+struct ResidentRun {
+  std::size_t peak_frontier_clock_bytes = 0;
+  std::size_t peak_hb_clock_bytes = 0;
+  std::size_t promotions = 0;
+  std::size_t racy_pairs = 0;
+};
+
+ResidentRun run_resident(const std::vector<trace::Event>& events, int threads,
+                         detect::ClockEngine engine,
+                         std::size_t retire_every) {
+  detect::IncrementalHb hb;
+  for (int t = 0; t < threads; ++t) hb.declare_thread(static_cast<trace::Tid>(t));
+  detect::RaceDetectorConfig cfg;
+  cfg.clock = engine;
+  detect::IncrementalFrontier frontier(cfg);
+  ResidentRun run;
+  std::vector<detect::IncrementalFrontier::PairHit> hits;
+  std::size_t since_retire = 0;
+  std::size_t since_sample = 0;
+  for (const trace::Event& e : events) {
+    const detect::StampView stamp = hb.advance(e);
+    if (e.is_access()) {
+      auto rec = std::make_shared<detect::OnlineAccess>();
+      rec->seq = e.seq;
+      rec->tid = e.tid;
+      rec->write = e.is_write();
+      rec->locks = e.locks_held;
+      hits.clear();
+      frontier.on_access(e.obj, std::move(rec), stamp, &hits);
+      run.racy_pairs += hits.size();
+    }
+    if (++since_sample >= 64) {  // sampling cadence mirrors OnlineAnalyzer.
+      since_sample = 0;
+      run.peak_frontier_clock_bytes = std::max(run.peak_frontier_clock_bytes,
+                                               frontier.resident_clock_bytes());
+      run.peak_hb_clock_bytes =
+          std::max(run.peak_hb_clock_bytes, hb.resident_clock_bytes());
+    }
+    if (retire_every != 0 && ++since_retire >= retire_every) {
+      since_retire = 0;
+      detect::VectorClock wm;
+      if (hb.watermark(&wm)) {
+        frontier.retire(wm);
+        hb.retire(wm);
+        detect::ClockArena::global().compact();
+      }
+    }
+  }
+  // Catch the final state too (short traces may never hit the cadence).
+  run.peak_frontier_clock_bytes =
+      std::max(run.peak_frontier_clock_bytes, frontier.resident_clock_bytes());
+  run.peak_hb_clock_bytes =
+      std::max(run.peak_hb_clock_bytes, hb.resident_clock_bytes());
+  run.promotions = frontier.epoch_promotions();
+  return run;
+}
+
+// ------------------------------------------------------------------ main
+
+struct Output {
+  std::FILE* json = nullptr;  ///< BENCH_clock.json (always written).
+  bool echo = false;          ///< also echo rows to stdout (full mode).
+
+  void emit(const bench::JsonRow& row) const {
+    if (json != nullptr) row.print(json);
+    if (echo) row.print();
+  }
+};
+
+void micro_rows(const Output& out, int reps) {
+  for (int threads = 2; threads <= 128; threads *= 2) {
+    const MicroTimes t = micro(threads, reps);
+    bench::JsonRow row("clock_micro");
+    row.field("threads", threads)
+        .field("join_ns", t.join_ns)
+        .field("leq_ns", t.leq_ns)
+        .field("eq_ns", t.eq_ns)
+        .field("sink", t.sink);
+    out.emit(row);
+  }
+}
+
+/// Emits the sweep + resident rows; returns vector_seconds / epoch_seconds
+/// (0 on verdict mismatch, which also fails the caller's gate).
+double engine_rows(const Output& out, int threads, int vars,
+                   std::size_t phases, int reps, bool* verdicts_equal,
+                   std::size_t* epoch_bytes, std::size_t* vector_bytes) {
+  const std::vector<trace::Event> clean =
+      bench::phased_trace(phases, threads, vars);
+
+  SweepRun epoch;
+  SweepRun vector;
+  epoch.seconds = vector.seconds = 1e100;
+  // The HB index build (advance + stamp materialization) is identical under
+  // both engines; timing it separately isolates the sweep the acceptance
+  // gate is about.  analyze() under kHybrid uses the default HB config.
+  double hb_seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const SweepRun e = run_sweep(clean, detect::ClockEngine::kEpoch);
+    if (e.seconds < epoch.seconds) epoch = e;
+    const SweepRun v = run_sweep(clean, detect::ClockEngine::kVector);
+    if (v.seconds < vector.seconds) vector = v;
+    util::Stopwatch timer;
+    const detect::HbIndex hb =
+        detect::HappensBeforeAnalysis().run(std::vector<trace::Event>(clean));
+    hb_seconds = std::min(hb_seconds, timer.elapsed_seconds());
+  }
+  *verdicts_equal = epoch.pairs == vector.pairs;
+  const double floor = 1e-9;  // clamp: subtraction can go sub-noise.
+  const double epoch_sweep = std::max(epoch.seconds - hb_seconds, floor);
+  const double vector_sweep = std::max(vector.seconds - hb_seconds, floor);
+  const double speedup = vector_sweep / epoch_sweep;
+  {
+    bench::JsonRow row("clock_sweep");
+    row.field("threads", threads)
+        .field("vars", vars)
+        .field("events", clean.size())
+        .field("epoch_seconds", epoch.seconds)
+        .field("vector_seconds", vector.seconds)
+        .field("hb_seconds", hb_seconds)
+        .field("epoch_sweep_seconds", epoch_sweep)
+        .field("vector_sweep_seconds", vector_sweep)
+        .field("total_speedup", vector.seconds / epoch.seconds)
+        .field("sweep_speedup", speedup)
+        .field("pairs_checked", epoch.pairs_checked)
+        .field("epoch_hits", epoch.epoch_hits)
+        .field("verdicts_equal", *verdicts_equal ? 1 : 0);
+    out.emit(row);
+  }
+
+  // Resident clock bytes: the clean stream is the headline (epoch keeps
+  // 16-byte stamps; vector pins a full private clock per record), the racy
+  // stream shows promotions + arena sharing under real concurrency.
+  const ResidentRun clean_epoch =
+      run_resident(clean, threads, detect::ClockEngine::kEpoch, 256);
+  const ResidentRun clean_vector =
+      run_resident(clean, threads, detect::ClockEngine::kVector, 256);
+  *epoch_bytes = clean_epoch.peak_frontier_clock_bytes;
+  *vector_bytes = clean_vector.peak_frontier_clock_bytes;
+  {
+    bench::JsonRow row("clock_resident");
+    row.field("workload", "phased")
+        .field("threads", threads)
+        .field("events", clean.size())
+        .field("epoch_clock_bytes", clean_epoch.peak_frontier_clock_bytes)
+        .field("vector_clock_bytes", clean_vector.peak_frontier_clock_bytes)
+        .field("hb_clock_bytes", clean_epoch.peak_hb_clock_bytes)
+        .field("promotions", clean_epoch.promotions);
+    out.emit(row);
+  }
+  const std::vector<trace::Event> racy =
+      bench::racy_trace(phases, threads, vars, /*seed=*/11);
+  const ResidentRun racy_epoch =
+      run_resident(racy, threads, detect::ClockEngine::kEpoch, 256);
+  const ResidentRun racy_vector =
+      run_resident(racy, threads, detect::ClockEngine::kVector, 256);
+  {
+    bench::JsonRow row("clock_resident");
+    row.field("workload", "racy")
+        .field("threads", threads)
+        .field("events", racy.size())
+        .field("epoch_clock_bytes", racy_epoch.peak_frontier_clock_bytes)
+        .field("vector_clock_bytes", racy_vector.peak_frontier_clock_bytes)
+        .field("hb_clock_bytes", racy_epoch.peak_hb_clock_bytes)
+        .field("promotions", racy_epoch.promotions)
+        .field("racy_pairs", racy_epoch.racy_pairs);
+    out.emit(row);
+  }
+  return speedup;
+}
+
+int smoke(const Output& out) {
+  // Small but still 64-wide: the acceptance shape at CI-friendly size.
+  bool verdicts_equal = false;
+  std::size_t epoch_bytes = 0;
+  std::size_t vector_bytes = 0;
+  const double speedup = engine_rows(out, /*threads=*/64, /*vars=*/8,
+                                     /*phases=*/64, /*reps=*/3,
+                                     &verdicts_equal, &epoch_bytes,
+                                     &vector_bytes);
+  if (!verdicts_equal) {
+    std::fprintf(stderr, "smoke: engines reported different pair lists\n");
+    return 1;
+  }
+  // Regression gate (satellite e): the epoch path must never be slower than
+  // the vector baseline.  The 3x acceptance number is asserted on the full
+  // run where timing noise is amortized; here we allow 10% jitter.
+  if (speedup < 0.9) {
+    std::fprintf(stderr, "smoke: epoch sweep regressed vs vector (%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  if (epoch_bytes * 5 > vector_bytes) {
+    std::fprintf(stderr,
+                 "smoke: epoch resident clock-bytes not 5x smaller "
+                 "(%zu vs %zu)\n",
+                 epoch_bytes, vector_bytes);
+    return 1;
+  }
+  std::printf(
+      "bench_clock --smoke: OK (sweep %.2fx, resident %zu vs %zu bytes)\n",
+      speedup, epoch_bytes, vector_bytes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const std::string json_path = flags.get("json-out", "BENCH_clock.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_clock: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  Output out;
+  out.json = json;
+
+  int status = 0;
+  if (flags.get_bool("smoke", false)) {
+    status = smoke(out);
+  } else {
+    out.echo = true;
+    micro_rows(out, flags.get_int("reps", 200000));
+    bool verdicts_equal = false;
+    std::size_t epoch_bytes = 0;
+    std::size_t vector_bytes = 0;
+    const double speedup = engine_rows(
+        out, flags.get_int("threads", 64), flags.get_int("vars", 8),
+        static_cast<std::size_t>(flags.get_int("phases", 256)),
+        flags.get_int("reps-sweep", 3), &verdicts_equal, &epoch_bytes,
+        &vector_bytes);
+    if (!verdicts_equal) {
+      std::fprintf(stderr, "bench_clock: engines disagree\n");
+      status = 1;
+    }
+    // ISSUE-6 acceptance: >= 3x sweep speedup, >= 5x lower clock-bytes.
+    if (speedup < 3.0) {
+      std::fprintf(stderr, "bench_clock: sweep speedup %.2fx < 3x\n", speedup);
+      status = 1;
+    }
+    if (epoch_bytes * 5 > vector_bytes) {
+      std::fprintf(stderr, "bench_clock: clock-bytes ratio below 5x\n");
+      status = 1;
+    }
+  }
+  std::fclose(json);
+  return status;
+}

@@ -1,0 +1,112 @@
+#include "src/detect/clock_arena.hpp"
+
+#include <algorithm>
+
+#include "src/obs/telemetry.hpp"
+
+namespace home::detect {
+
+namespace {
+
+struct ArenaMetrics {
+  obs::Counter& hits = obs::Registry::global().counter("clock.arena.hits");
+  obs::Counter& misses = obs::Registry::global().counter("clock.arena.misses");
+  obs::Gauge& bytes =
+      obs::Registry::global().gauge("clock.arena.resident_bytes");
+};
+
+ArenaMetrics& arena_metrics() {
+  static ArenaMetrics m;
+  return m;
+}
+
+std::size_t normalized_size(const std::uint64_t* data, std::size_t n) {
+  while (n > 0 && data[n - 1] == 0) --n;
+  return n;
+}
+
+std::uint64_t content_hash(const std::uint64_t* data, std::size_t n) {
+  // FNV-1a over the normalized components; good enough for an intern table
+  // whose collision chains are verified by full compares.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h ^ n;
+}
+
+bool same_content(const InternedClock& c, const std::uint64_t* data,
+                  std::size_t n) {
+  if (c.size() != n) return false;
+  return std::equal(data, data + n, c.data());
+}
+
+}  // namespace
+
+ClockArena& ClockArena::global() {
+  static ClockArena arena;
+  return arena;
+}
+
+ClockRef ClockArena::intern(const std::uint64_t* data, std::size_t n) {
+  n = normalized_size(data, n);
+  const std::uint64_t h = content_hash(data, n);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClockRef>& chain = table_[h];
+  for (const ClockRef& c : chain) {
+    if (same_content(*c, data, n)) {
+      arena_metrics().hits.add(1);
+      return c;
+    }
+  }
+  arena_metrics().misses.add(1);
+  auto clock = std::make_shared<const InternedClock>(
+      std::vector<std::uint64_t>(data, data + n));
+  chain.push_back(clock);
+  arena_metrics().bytes.add(static_cast<std::int64_t>(clock->bytes()));
+  return clock;
+}
+
+std::size_t ClockArena::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t released = 0;
+  std::int64_t released_bytes = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    std::vector<ClockRef>& chain = it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const ClockRef& c) {
+                                 if (c.use_count() != 1) return false;
+                                 ++released;
+                                 released_bytes +=
+                                     static_cast<std::int64_t>(c->bytes());
+                                 return true;
+                               }),
+                chain.end());
+    if (chain.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (released_bytes != 0) arena_metrics().bytes.add(-released_bytes);
+  return released;
+}
+
+std::size_t ClockArena::resident_clocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [h, chain] : table_) n += chain.size();
+  return n;
+}
+
+std::size_t ClockArena::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [h, chain] : table_) {
+    for (const ClockRef& c : chain) n += c->bytes();
+  }
+  return n;
+}
+
+}  // namespace home::detect

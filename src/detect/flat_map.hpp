@@ -1,0 +1,161 @@
+// Flat open-addressing map from trace::ObjId to a value (ISSUE-6 tentpole).
+//
+// IncrementalHb's lock/message/barrier state and the streaming frontier's
+// per-variable state were std::maps: one red-black node allocation per
+// entry, pointer-chasing on every hot-path lookup.  Sync-object and
+// variable ids are arbitrary 64-bit values (not a dense small-int space
+// like Tid), so the dense-vector trick does not apply; this linear-probing
+// table with backward-shift deletion gives the same find/insert/erase
+// surface in one contiguous allocation with no per-entry nodes.
+//
+// Iteration order is unspecified — callers that need determinism (verdict
+// folds, candidate ordering) keep their own ordered index, exactly as the
+// std::map versions relied on key order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/trace/event.hpp"
+
+namespace home::detect {
+
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V& operator[](trace::ObjId key) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) grow();
+    std::size_t i = probe(key);
+    if (!slots_[i].used) {
+      slots_[i].used = true;
+      slots_[i].key = key;
+      slots_[i].value = V{};
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  V* find(trace::ObjId key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t i = probe(key);
+    return slots_[i].used ? &slots_[i].value : nullptr;
+  }
+  const V* find(trace::ObjId key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  bool erase(trace::ObjId key) {
+    if (slots_.empty()) return false;
+    const std::size_t i = probe(key);
+    if (!slots_[i].used) return false;
+    erase_slot(i);
+    return true;
+  }
+
+  /// Erase every entry for which pred(key, value) holds; returns the count.
+  /// The predicate may mutate the value (e.g. prune it, then report empty).
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    // Collect first: backward-shift deletion relocates entries, so erasing
+    // during a slot scan could skip or revisit survivors.
+    scratch_keys_.clear();
+    for (Slot& s : slots_) {
+      if (s.used && pred(s.key, s.value)) scratch_keys_.push_back(s.key);
+    }
+    for (const trace::ObjId k : scratch_keys_) erase(k);
+    return scratch_keys_.size();
+  }
+
+  /// Visit every entry (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+  template <typename Fn>
+  void for_each_mutable(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    trace::ObjId key = 0;
+    V value{};
+    bool used = false;
+  };
+
+  static std::uint64_t mix(trace::ObjId k) {
+    // splitmix64 finalizer: ids are often sequential, so spread them.
+    std::uint64_t x = k + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t mask() const { return slots_.size() - 1; }
+  std::size_t home(trace::ObjId key) const { return mix(key) & mask(); }
+
+  /// Index of `key`'s slot if present, else the empty slot to insert into.
+  std::size_t probe(trace::ObjId key) const {
+    std::size_t i = home(key);
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask();
+    return i;
+  }
+
+  void erase_slot(std::size_t hole) {
+    // Backward-shift deletion: pull forward any later entry in the probe
+    // chain whose home position is at-or-before the hole.
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask();
+      if (!slots_[j].used) break;
+      const std::size_t h = home(slots_[j].key);
+      // j's entry may fill the hole iff its home is not cyclically inside
+      // (hole, j] — i.e. its probe distance reaches back to the hole.
+      if (((j - h) & mask()) >= ((j - hole) & mask())) {
+        slots_[hole].key = slots_[j].key;
+        slots_[hole].value = std::move(slots_[j].value);
+        hole = j;
+      }
+    }
+    slots_[hole].used = false;
+    slots_[hole].value = V{};  // release the payload's heap state now.
+    --size_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = home(s.key);
+      while (slots_[i].used) i = (i + 1) & mask();
+      slots_[i].used = true;
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<trace::ObjId> scratch_keys_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace home::detect

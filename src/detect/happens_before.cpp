@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/detect/incremental.hpp"
+#include "src/obs/telemetry.hpp"
 
 namespace home::detect {
 
@@ -39,8 +40,13 @@ HbIndex HappensBeforeAnalysis::run(std::vector<trace::Event> events) const {
   IncrementalHb inc(cfg_);
   std::vector<VectorClock> stamps(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
-    stamps[i] = inc.advance(events[i]);
+    stamps[i] = inc.advance(events[i]).to_clock();
   }
+  // The post-mortem index materializes one private full clock per event
+  // regardless of engine (arbitrary-order queries need them); one batched
+  // fold keeps the replay loop free of atomics.
+  static obs::Counter& allocs = obs::Registry::global().counter("clock.allocs");
+  if (!events.empty()) allocs.add(events.size());
   return HbIndex(std::move(events), std::move(stamps));
 }
 

@@ -4,83 +4,137 @@
 
 namespace home::detect {
 
-bool online_accesses_racy(DetectorMode mode, const OnlineAccess& a,
-                          const OnlineAccess& b) {
+bool online_accesses_racy(DetectorMode mode, ClockEngine engine,
+                          const OnlineAccess& a, const OnlineAccess& b,
+                          const StampView& bv) {
   if (a.tid == b.tid) return false;
   if (!a.write && !b.write) return false;
+  if (mode == DetectorMode::kLocksetOnly) {
+    return trace::locksets_disjoint(a.locks, b.locks);
+  }
+  // b was stamped at-or-after a and on another thread, so b <= a is
+  // impossible (b's own component already exceeds a's view of it) and
+  // concurrency reduces to !(a <= b).  Under kEpoch that is the O(1) epoch
+  // test; under kVector we keep the full two-sided arithmetic of the PR-1
+  // baseline (same verdict, measured as the ablation).
+  const bool unordered = engine == ClockEngine::kEpoch
+                             ? !a.stamp.leq_later(bv)
+                             : stamp_concurrent_full(a.stamp, bv);
   switch (mode) {
     case DetectorMode::kHybrid:
-      return VectorClock::concurrent(a.stamp, b.stamp) &&
-             trace::locksets_disjoint(a.locks, b.locks);
-    case DetectorMode::kLocksetOnly:
-      return trace::locksets_disjoint(a.locks, b.locks);
+      return unordered && trace::locksets_disjoint(a.locks, b.locks);
     case DetectorMode::kHbOnly:
-      return VectorClock::concurrent(a.stamp, b.stamp);
+      return unordered;
+    case DetectorMode::kLocksetOnly:
+      break;  // handled above.
   }
   return false;
 }
 
 // ------------------------------------------------------------- IncrementalHb
 
-const VectorClock& IncrementalHb::advance(const trace::Event& e) {
-  VectorClock& clk = thread_clock_[e.tid];
+void IncrementalHb::ensure_tid(trace::Tid tid) {
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= thread_clock_.size()) {
+    thread_clock_.resize(i + 1);
+    thread_state_.resize(i + 1, 0);
+  }
+}
 
-  // Incoming edges before the stamp, mirroring HappensBeforeAnalysis.
-  switch (e.kind) {
-    case trace::EventKind::kLockAcquire:
-      if (cfg_.lock_edges) {
-        auto it = lock_clock_.find(e.obj);
-        if (it != lock_clock_.end()) clk.join(it->second);
+StampView IncrementalHb::advance(const trace::Event& e) {
+  ensure_tid(e.tid);
+  const auto ti = static_cast<std::size_t>(e.tid);
+  thread_state_[ti] |= kHasClock;
+
+  {
+    VectorClock& clk = thread_clock_[ti];
+    // Incoming edges before the stamp, mirroring HappensBeforeAnalysis.
+    switch (e.kind) {
+      case trace::EventKind::kLockAcquire:
+        if (cfg_.lock_edges) {
+          if (const VectorClock* lc = lock_clock_.find(e.obj)) clk.join(*lc);
+        }
+        break;
+      case trace::EventKind::kMsgRecv:
+        if (cfg_.message_edges) {
+          if (const VectorClock* mc = message_clock_.find(e.obj)) clk.join(*mc);
+        }
+        break;
+      case trace::EventKind::kThreadJoin: {
+        const auto child = static_cast<std::size_t>(e.obj);
+        if (child < thread_clock_.size() &&
+            (thread_state_[child] & kHasClock) != 0) {
+          clk.join(thread_clock_[child]);
+        }
+        break;
       }
-      break;
-    case trace::EventKind::kMsgRecv:
-      if (cfg_.message_edges) {
-        auto it = message_clock_.find(e.obj);
-        if (it != message_clock_.end()) clk.join(it->second);
-      }
-      break;
-    case trace::EventKind::kThreadJoin: {
-      const auto child = static_cast<trace::Tid>(e.obj);
-      auto it = thread_clock_.find(child);
-      if (it != thread_clock_.end()) clk.join(it->second);
-      break;
+      default:
+        break;
     }
-    default:
-      break;
+    clk.bump(e.tid);
   }
 
-  clk.bump(e.tid);
-  scratch_ = clk;
+  // The stamp is the clock right after the bump, BEFORE outgoing edges.
+  // Outgoing edges never mutate the issuing thread's own clock except on
+  // barrier completion (joined-accumulator fan-out) and a self-join — those
+  // paths copy the stamp to scratch_ below and return a view over it.
+  // Growing thread_clock_ (fork / barrier child) moves VectorClock elements,
+  // but an element's heap buffer survives the move, so the span stays valid.
+  StampView view;
+  view.tid = e.tid;
+  view.value = thread_clock_[ti].get(e.tid);
+  view.clock = thread_clock_[ti].data();
+  view.size = thread_clock_[ti].size();
 
-  // Outgoing edges after the stamp.
+  // Outgoing edges after the stamp.  References into thread_clock_ are
+  // re-fetched by index after any call that may grow it.
   switch (e.kind) {
     case trace::EventKind::kLockRelease:
-      if (cfg_.lock_edges) lock_clock_[e.obj].join(clk);
+      if (cfg_.lock_edges) lock_clock_[e.obj].join(thread_clock_[ti]);
       break;
     case trace::EventKind::kMsgSend:
-      if (cfg_.message_edges) message_clock_[e.obj].join(clk);
+      if (cfg_.message_edges) message_clock_[e.obj].join(thread_clock_[ti]);
       break;
     case trace::EventKind::kThreadFork: {
       const auto child = static_cast<trace::Tid>(e.obj);
-      thread_clock_[child].join(clk);
+      ensure_tid(child);
+      thread_state_[static_cast<std::size_t>(child)] |= kHasClock;
+      thread_clock_[static_cast<std::size_t>(child)].join(thread_clock_[ti]);
+      view.clock = thread_clock_[ti].data();
       break;
     }
     case trace::EventKind::kThreadJoin: {
       // The child's history is absorbed; it will not emit again, so its
       // clock no longer constrains the watermark and can be reclaimed.
-      const auto child = static_cast<trace::Tid>(e.obj);
-      thread_clock_.erase(child);
-      declared_.erase(child);
-      joined_.insert(child);
+      const auto child = static_cast<std::size_t>(e.obj);
+      if (child < thread_clock_.size()) {
+        if (child == ti) {  // degenerate self-join: keep the stamp alive.
+          scratch_ = thread_clock_[ti];
+          view.clock = scratch_.data();
+          view.size = scratch_.size();
+        }
+        thread_clock_[child] = VectorClock();
+        thread_state_[child] &= static_cast<std::uint8_t>(~(kHasClock | kDeclared));
+        thread_state_[child] |= kJoined;
+      }
       break;
     }
     case trace::EventKind::kBarrier: {
       BarrierAcc& acc = barriers_[e.obj];
       acc.arrived.push_back(e.tid);
-      acc.joined.join(clk);
+      acc.joined.join(thread_clock_[ti]);
       const auto expected = static_cast<std::size_t>(e.aux);
       if (expected > 0 && acc.arrived.size() >= expected) {
-        for (trace::Tid t : acc.arrived) thread_clock_[t].join(acc.joined);
+        // Completion joins back into the issuer's own clock: snapshot the
+        // pre-edge stamp first (scratch_ reuses its buffer run-to-run).
+        scratch_ = thread_clock_[ti];
+        view.clock = scratch_.data();
+        view.size = scratch_.size();
+        for (trace::Tid t : acc.arrived) {
+          ensure_tid(t);
+          thread_state_[static_cast<std::size_t>(t)] |= kHasClock;
+          thread_clock_[static_cast<std::size_t>(t)].join(acc.joined);
+        }
         barriers_.erase(e.obj);
       }
       break;
@@ -89,69 +143,71 @@ const VectorClock& IncrementalHb::advance(const trace::Event& e) {
       break;
   }
 
-  return scratch_;
+  return view;
 }
 
 void IncrementalHb::declare_thread(trace::Tid tid) {
-  if (tid == trace::kNoTid || joined_.count(tid) > 0) return;
-  declared_.insert(tid);
+  if (tid == trace::kNoTid) return;
+  ensure_tid(tid);
+  const auto i = static_cast<std::size_t>(tid);
+  if ((thread_state_[i] & kJoined) != 0) return;
+  thread_state_[i] |= kDeclared;
 }
 
 bool IncrementalHb::watermark(VectorClock* out) const {
   // Live threads: declared ones plus any that already stamped events.
   bool first = true;
-  auto fold = [&](trace::Tid tid) -> bool {
-    auto it = thread_clock_.find(tid);
-    if (it == thread_clock_.end()) return false;  // silent thread: meet is 0.
-    const VectorClock& clk = it->second;
+  for (std::size_t i = 0; i < thread_clock_.size(); ++i) {
+    const std::uint8_t s = thread_state_[i];
+    const bool live = (s & (kHasClock | kDeclared)) != 0;
+    if (!live) continue;
+    if ((s & kHasClock) == 0) return false;  // silent thread: meet is 0.
     if (first) {
-      *out = clk;
+      *out = thread_clock_[i];
       first = false;
-      return true;
+    } else {
+      out->meet(thread_clock_[i]);
     }
-    // Pointwise minimum; components beyond either clock's size read as 0.
-    const std::size_t keep = std::min(out->size(), clk.size());
-    VectorClock meet;
-    for (std::size_t i = 0; i < keep; ++i) {
-      const auto tid_i = static_cast<trace::Tid>(i);
-      meet.set(tid_i, std::min(out->get(tid_i), clk.get(tid_i)));
-    }
-    *out = std::move(meet);
-    return true;
-  };
-  for (const trace::Tid tid : declared_) {
-    if (!fold(tid)) return false;
-  }
-  for (const auto& [tid, clk] : thread_clock_) {
-    (void)clk;
-    if (declared_.count(tid) > 0) continue;
-    if (!fold(tid)) return false;
   }
   return !first;
 }
 
 void IncrementalHb::retire(const VectorClock& watermark) {
-  auto prune = [&watermark](std::map<trace::ObjId, VectorClock>& m) {
-    for (auto it = m.begin(); it != m.end();) {
-      if (it->second.leq(watermark)) {
-        it = m.erase(it);
-      } else {
-        ++it;
-      }
-    }
+  auto dominated = [&watermark](trace::ObjId, const VectorClock& clk) {
+    return clk.leq(watermark);
   };
-  prune(lock_clock_);
-  prune(message_clock_);
+  lock_clock_.erase_if(dominated);
+  message_clock_.erase_if(dominated);
 }
 
 std::size_t IncrementalHb::resident_entries() const {
-  return thread_clock_.size() + lock_clock_.size() + message_clock_.size() +
+  std::size_t threads = 0;
+  for (const std::uint8_t s : thread_state_) {
+    threads += (s & kHasClock) != 0 ? 1 : 0;
+  }
+  return threads + lock_clock_.size() + message_clock_.size() +
          barriers_.size();
 }
 
+std::size_t IncrementalHb::resident_clock_bytes() const {
+  std::size_t n = 0;
+  for (const VectorClock& clk : thread_clock_) n += clk.heap_bytes();
+  lock_clock_.for_each(
+      [&n](trace::ObjId, const VectorClock& clk) { n += clk.heap_bytes(); });
+  message_clock_.for_each(
+      [&n](trace::ObjId, const VectorClock& clk) { n += clk.heap_bytes(); });
+  barriers_.for_each([&n](trace::ObjId, const BarrierAcc& acc) {
+    n += acc.joined.heap_bytes();
+  });
+  return n;
+}
+
 const VectorClock* IncrementalHb::clock(trace::Tid tid) const {
-  auto it = thread_clock_.find(tid);
-  return it == thread_clock_.end() ? nullptr : &it->second;
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= thread_clock_.size() || (thread_state_[i] & kHasClock) == 0) {
+    return nullptr;
+  }
+  return &thread_clock_[i];
 }
 
 // ------------------------------------------------------- IncrementalFrontier
@@ -165,11 +221,21 @@ bool same_class(const OnlineAccess& a, const OnlineAccess& b) {
 }  // namespace
 
 void IncrementalFrontier::on_access(trace::ObjId var,
-                                    std::shared_ptr<const OnlineAccess> rec,
+                                    std::shared_ptr<OnlineAccess> rec,
+                                    const StampView& view,
                                     std::vector<PairHit>* hits) {
   VarMeta& meta = meta_[var];
   if (meta.saturated) return;  // pair budget spent: the sweep has stopped.
   VarFrontier& vf = vars_[var];
+
+  // Retained representation per the clock engine: a 16-byte epoch that is
+  // promoted below on the first racy hit, or the baseline private full copy.
+  if (cfg_.clock == ClockEngine::kEpoch) {
+    rec->stamp = Stamp::epoch(view);
+  } else {
+    rec->stamp = Stamp::full_copy(view);
+    ++clock_allocs_;
+  }
 
   // Candidates: the other threads' frontier entries, seq-sorted and
   // deduplicated — the exact candidate order of frontier_sweep_variable.
@@ -187,8 +253,14 @@ void IncrementalFrontier::on_access(trace::ObjId var,
                                 }),
                     candidates_.end());
 
+  if (cfg_.clock == ClockEngine::kEpoch &&
+      cfg_.mode != DetectorMode::kLocksetOnly) {
+    epoch_hits_ += candidates_.size();
+  }
   for (const auto& cand : candidates_) {
-    if (!online_accesses_racy(cfg_.mode, *cand, *rec)) continue;
+    if (!online_accesses_racy(cfg_.mode, cfg_.clock, *cand, *rec, view)) {
+      continue;
+    }
     meta.concurrent = true;
     if (cfg_.max_pairs_per_var != 0 && meta.pairs >= cfg_.max_pairs_per_var) {
       // Mirror the post-mortem early return: the budget-overflow pair is
@@ -199,6 +271,13 @@ void IncrementalFrontier::on_access(trace::ObjId var,
       return;
     }
     ++meta.pairs;
+    if (cfg_.clock == ClockEngine::kEpoch && !rec->stamp.has_clock()) {
+      // True concurrency: this record may matter downstream, so it earns a
+      // full (interned, shared) clock.  Non-racy records — the overwhelming
+      // majority — stay epoch-only forever.
+      rec->stamp = Stamp::interned(view, ClockArena::global());
+      ++promotions_;
+    }
     if (hits) hits->push_back(PairHit{cand, rec});
   }
 
@@ -228,8 +307,7 @@ std::size_t IncrementalFrontier::retire(const VectorClock& watermark) {
   auto dominated = [&watermark](const std::shared_ptr<const OnlineAccess>& r) {
     return r->stamp.leq(watermark);
   };
-  for (auto vit = vars_.begin(); vit != vars_.end();) {
-    VarFrontier& vf = vit->second;
+  vars_.erase_if([&](trace::ObjId, VarFrontier& vf) {
     for (auto tit = vf.threads.begin(); tit != vf.threads.end();) {
       ThreadFrontier& tf = tit->second;
       const std::size_t before = tf.keyed.size() + tf.recent.size();
@@ -255,12 +333,8 @@ std::size_t IncrementalFrontier::retire(const VectorClock& watermark) {
         ++tit;
       }
     }
-    if (vf.threads.empty()) {
-      vit = vars_.erase(vit);
-    } else {
-      ++vit;
-    }
-  }
+    return vf.threads.empty();
+  });
   return reclaimed;
 }
 
@@ -271,13 +345,24 @@ bool IncrementalFrontier::concurrent(trace::ObjId var) const {
 
 std::size_t IncrementalFrontier::resident_records() const {
   std::size_t n = 0;
-  for (const auto& [var, vf] : vars_) {
-    (void)var;
+  vars_.for_each([&n](trace::ObjId, const VarFrontier& vf) {
     for (const auto& [tid, tf] : vf.threads) {
       (void)tid;
       n += tf.keyed.size() + tf.recent.size();
     }
-  }
+  });
+  return n;
+}
+
+std::size_t IncrementalFrontier::resident_clock_bytes() const {
+  std::size_t n = 0;
+  vars_.for_each([&n](trace::ObjId, const VarFrontier& vf) {
+    for (const auto& [tid, tf] : vf.threads) {
+      (void)tid;
+      for (const auto& r : tf.keyed) n += r->stamp.clock_bytes();
+      for (const auto& r : tf.recent) n += r->stamp.clock_bytes();
+    }
+  });
   return n;
 }
 

@@ -20,6 +20,14 @@
 //     plus the recent-access ring, fed one access at a time.  New racy pairs
 //     are surfaced immediately instead of collected in a verdict.
 //
+// Clock engine (ISSUE-6): advance() returns an allocation-free StampView
+// (epoch + clock span); what each *retained* record stores is chosen by
+// RaceDetectorConfig::clock.  Under ClockEngine::kEpoch records keep 16-byte
+// epochs and promote to interned full clocks only on true concurrency; under
+// ClockEngine::kVector every record keeps a private full copy (the PR-1
+// baseline).  All retained-vs-incoming and retained-vs-watermark checks are
+// epoch-exact (see stamp.hpp), so both engines produce identical verdicts.
+//
 // Epoch-based retirement: a retained record with stamp V can never race any
 // future event once every thread that may still emit has a clock >= V —
 // every future stamp then dominates V, so the pair is HB-ordered.  The meet
@@ -33,13 +41,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "src/detect/flat_map.hpp"
 #include "src/detect/happens_before.hpp"
 #include "src/detect/race_detector.hpp"
+#include "src/detect/stamp.hpp"
 #include "src/detect/vector_clock.hpp"
 #include "src/trace/event.hpp"
 
@@ -47,30 +57,34 @@ namespace home::detect {
 
 /// One access retained by the streaming frontier: the slice of the original
 /// Event the race predicate and the violation matcher need, plus the HB
-/// stamp, plus the aux-linked MPI call event (shared so the record can
-/// outlive the analyzer's call table).
+/// stamp (epoch or full, per the clock engine), plus the aux-linked MPI call
+/// event (shared so the record can outlive the analyzer's call table).
 struct OnlineAccess {
   trace::Seq seq = 0;
   trace::Tid tid = trace::kNoTid;
   bool write = false;
   std::vector<trace::ObjId> locks;
-  VectorClock stamp;
+  Stamp stamp;
   std::shared_ptr<const trace::Event> call;  ///< may be null (unlinked access).
 };
 
-/// The pairwise racy-access predicate of `accesses_racy`, over retained
-/// records instead of HbIndex positions.
-bool online_accesses_racy(DetectorMode mode, const OnlineAccess& a,
-                          const OnlineAccess& b);
+/// The pairwise racy-access predicate over a retained record `a` and the
+/// *incoming* record `b` whose stamp view is `bv` (b was stamped at-or-after
+/// a, which makes the epoch test exact; see stamp.hpp).
+bool online_accesses_racy(DetectorMode mode, ClockEngine engine,
+                          const OnlineAccess& a, const OnlineAccess& b,
+                          const StampView& bv);
 
 class IncrementalHb {
  public:
   explicit IncrementalHb(HappensBeforeConfig cfg = {}) : cfg_(cfg) {}
 
   /// Apply e's incoming HB edges, bump e.tid's clock, and apply e's outgoing
-  /// edges.  Returns the stamp of e (valid until the next advance()).
-  /// Events must be fed in seq order.
-  const VectorClock& advance(const trace::Event& e);
+  /// edges.  Returns the stamp view of e — the epoch plus a span of the
+  /// issuing thread's clock, valid until the next advance() call and
+  /// allocation-free on the access/lock/message hot path.  Events must be
+  /// fed in seq order; e.tid must be a registry tid (>= 0).
+  StampView advance(const trace::Event& e);
 
   /// Declare a thread that may emit events (typically every registry tid).
   /// Idempotent; threads retired by a kThreadJoin stay retired.
@@ -92,6 +106,9 @@ class IncrementalHb {
   /// feeds the bounded-memory accounting).
   std::size_t resident_entries() const;
 
+  /// Heap bytes held by resident clocks (thread + lock + message + barrier).
+  std::size_t resident_clock_bytes() const;
+
   const VectorClock* clock(trace::Tid tid) const;
 
  private:
@@ -100,14 +117,27 @@ class IncrementalHb {
     VectorClock joined;
   };
 
+  // Per-thread liveness, dense by tid alongside thread_clock_.
+  static constexpr std::uint8_t kHasClock = 1;  ///< observed or fork target.
+  static constexpr std::uint8_t kDeclared = 2;
+  static constexpr std::uint8_t kJoined = 4;
+
+  void ensure_tid(trace::Tid tid);
+
   HappensBeforeConfig cfg_;
-  std::map<trace::Tid, VectorClock> thread_clock_;
-  std::map<trace::ObjId, VectorClock> lock_clock_;
-  std::map<trace::ObjId, VectorClock> message_clock_;
-  std::map<trace::ObjId, BarrierAcc> barriers_;
-  std::set<trace::Tid> declared_;
-  std::set<trace::Tid> joined_;
-  VectorClock scratch_;  ///< stamp storage returned by advance().
+  /// Dense by tid (registry tids are small ints) — no tree nodes, no
+  /// per-event lookups beyond one index.  An element's heap buffer is stable
+  /// across outer-vector growth, which is what keeps StampView spans valid
+  /// while outgoing edges create new threads.
+  std::vector<VectorClock> thread_clock_;
+  std::vector<std::uint8_t> thread_state_;
+  FlatMap<VectorClock> lock_clock_;
+  FlatMap<VectorClock> message_clock_;
+  FlatMap<BarrierAcc> barriers_;
+  /// Stamp storage for the events whose outgoing edges mutate the issuing
+  /// thread's own clock (barrier completion, self-join) — the view must show
+  /// the pre-edge stamp, so those events copy it here first.
+  VectorClock scratch_;
 };
 
 /// Per-variable verdict metadata that must survive frontier retirement (the
@@ -131,10 +161,14 @@ class IncrementalFrontier {
   };
 
   /// Feed one access of `var` (records must arrive in seq order across the
-  /// whole stream).  New racy pairs are appended to `hits` in the same order
-  /// the post-mortem frontier sweep reports them.
-  void on_access(trace::ObjId var, std::shared_ptr<const OnlineAccess> rec,
-                 std::vector<PairHit>* hits);
+  /// whole stream).  `view` is the access's stamp view from the same
+  /// advance() call; on_access fills rec->stamp per the configured clock
+  /// engine — a 16-byte epoch that is promoted to an interned full clock the
+  /// first time the record proves racy (kEpoch), or a private full copy
+  /// (kVector).  New racy pairs are appended to `hits` in the same order the
+  /// post-mortem frontier sweep reports them.
+  void on_access(trace::ObjId var, std::shared_ptr<OnlineAccess> rec,
+                 const StampView& view, std::vector<PairHit>* hits);
 
   /// Drop frontier records at or below the watermark.  Sound for HB-based
   /// modes only; the caller must not retire under kLocksetOnly.
@@ -147,6 +181,16 @@ class IncrementalFrontier {
   /// Access records currently resident across all variables.
   std::size_t resident_records() const;
 
+  /// Heap bytes pinned by resident records' clock payloads (epoch-only
+  /// records pin none; a shared interned clock is charged to every holder).
+  std::size_t resident_clock_bytes() const;
+
+  /// Cumulative clock-engine tallies, kept thread-local to the analysis
+  /// loop; the analyzer folds deltas into obs::Registry at checkpoints.
+  std::size_t epoch_hits() const { return epoch_hits_; }
+  std::size_t epoch_promotions() const { return promotions_; }
+  std::size_t clock_allocs() const { return clock_allocs_; }
+
  private:
   struct ThreadFrontier {
     std::vector<std::shared_ptr<const OnlineAccess>> keyed;
@@ -154,13 +198,17 @@ class IncrementalFrontier {
     std::size_t recent_next = 0;
   };
   struct VarFrontier {
+    /// tid-ordered so candidate gathering stays deterministic.
     std::map<trace::Tid, ThreadFrontier> threads;
   };
 
   RaceDetectorConfig cfg_;
-  std::map<trace::ObjId, VarFrontier> vars_;
+  FlatMap<VarFrontier> vars_;
   std::map<trace::ObjId, VarMeta> meta_;
   std::vector<std::shared_ptr<const OnlineAccess>> candidates_;  ///< scratch.
+  std::size_t epoch_hits_ = 0;    ///< checks answered on the O(1) epoch path.
+  std::size_t promotions_ = 0;    ///< records promoted epoch -> full clock.
+  std::size_t clock_allocs_ = 0;  ///< private full-clock copies (kVector).
 };
 
 }  // namespace home::detect

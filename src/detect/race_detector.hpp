@@ -43,6 +43,19 @@ enum class DetectorAlgo : std::uint8_t {
 
 const char* detector_algo_name(DetectorAlgo algo);
 
+/// How happens-before comparisons and retained stamps are represented
+/// (ISSUE-6).  Both engines produce identical verdicts in every mode — the
+/// epoch predicate is exact for the seq-ordered pairs the sweeps compare
+/// (see stamp.hpp for the lemma); they differ only in cost.
+enum class ClockEngine : std::uint8_t {
+  kEpoch,   ///< adaptive (tid, value) epochs; O(1) ordered-pair checks,
+            ///< records promote to interned full clocks only on concurrency.
+  kVector,  ///< full two-sided vector-clock compares and private full copies
+            ///< per record (the PR-1 baseline, kept for cross-checks).
+};
+
+const char* clock_engine_name(ClockEngine engine);
+
 /// One pair of accesses judged concurrent. Indices refer to HbIndex::events().
 struct ConcurrentPair {
   std::size_t first = 0;
@@ -59,6 +72,8 @@ struct VariableVerdict {
   /// the frontier algorithm and early exits make this far smaller than the
   /// k*(k-1)/2 ceiling; the gap feeds `detect.pairs_pruned` (DESIGN.md §9).
   std::size_t pairs_checked = 0;
+  /// Checks answered on the O(1) epoch path (feeds `clock.epoch_hits`).
+  std::size_t epoch_hits = 0;
 };
 
 /// Result of a detector run: per-variable verdicts plus the HB index needed
@@ -111,6 +126,8 @@ struct RaceDetectorConfig {
   /// reported pairs for the thread-safety matcher.  Does not affect the
   /// `concurrent` verdict.
   std::size_t frontier_history = 8;
+  /// Stamp representation and comparison strategy; verdict-equivalent.
+  ClockEngine clock = ClockEngine::kEpoch;
 };
 
 /// Per-variable sweeps with fewer accesses than this run serially even when
@@ -129,8 +146,21 @@ class RaceDetector {
 };
 
 /// One pairwise racy-access predicate shared by both algorithms: different
-/// threads, at least one write, then the mode's concurrency test.
+/// threads, at least one write, then the mode's concurrency test.  Order-
+/// agnostic; always uses full clock compares.
 bool accesses_racy(DetectorMode mode, const HbIndex& hb, std::size_t i,
                    std::size_t j);
+
+/// The sweep-loop form of accesses_racy for a seq-ordered pair (`j` strictly
+/// before `i`), dispatching on the configured clock engine.  Under kEpoch
+/// the HB test is the O(1) epoch comparison stamp_j[tid_j] vs
+/// stamp_i[tid_j]: for a cross-thread ordered pair, i <= j is impossible
+/// (i's own component already exceeds j's view of it) and j <= i reduces to
+/// the epoch test, because j's stamp only propagates as a whole along sync
+/// edges after j's own bump.  `epoch_hits`, when non-null, counts checks
+/// answered on that path.
+bool accesses_racy_ordered(const RaceDetectorConfig& cfg, const HbIndex& hb,
+                           std::size_t j, std::size_t i,
+                           std::size_t* epoch_hits);
 
 }  // namespace home::detect

@@ -1,0 +1,35 @@
+#include "src/detect/stamp.hpp"
+
+namespace home::detect {
+
+Stamp Stamp::full_copy(const StampView& v) {
+  // Unshared, un-normalized copy: byte-for-byte the clock the PR-1 engine
+  // stored per record (the baseline the epoch engine is benched against).
+  return Stamp(v.tid, v.value,
+               std::make_shared<const InternedClock>(
+                   std::vector<std::uint64_t>(v.clock, v.clock + v.size)));
+}
+
+bool stamp_concurrent_full(const Stamp& retained, const StampView& incoming) {
+  const InternedClock* c = retained.clock().get();
+  const std::uint64_t* a = c->data();
+  const std::size_t na = c->size();
+  const std::uint64_t* b = incoming.clock;
+  const std::size_t nb = incoming.size;
+  const std::size_t common = na < nb ? na : nb;
+  std::uint64_t a_gt = 0;  // some component where a > b  (=> !(a <= b)).
+  std::uint64_t b_gt = 0;  // some component where b > a  (=> !(b <= a)).
+  for (std::size_t i = 0; i < common; ++i) {
+    a_gt |= static_cast<std::uint64_t>(a[i] > b[i]);
+    b_gt |= static_cast<std::uint64_t>(b[i] > a[i]);
+  }
+  for (std::size_t i = common; i < na; ++i) {
+    a_gt |= static_cast<std::uint64_t>(a[i] != 0);
+  }
+  for (std::size_t i = common; i < nb; ++i) {
+    b_gt |= static_cast<std::uint64_t>(b[i] != 0);
+  }
+  return a_gt != 0 && b_gt != 0;
+}
+
+}  // namespace home::detect

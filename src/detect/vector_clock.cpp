@@ -18,16 +18,48 @@ void VectorClock::join(const VectorClock& other) {
   }
 }
 
-bool VectorClock::leq(const VectorClock& other) const {
-  for (std::size_t i = 0; i < c_.size(); ++i) {
-    const std::uint64_t rhs = i < other.c_.size() ? other.c_[i] : 0;
-    if (c_[i] > rhs) return false;
+void VectorClock::meet(const VectorClock& other) {
+  const std::size_t keep = std::min(c_.size(), other.c_.size());
+  c_.resize(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    c_[i] = std::min(c_[i], other.c_[i]);
   }
-  return true;
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  // Branch-light single pass: accumulate "some component exceeds" over the
+  // common prefix, then over the (at most one non-empty) tail, where the
+  // shorter clock reads as zero.
+  const std::size_t na = c_.size();
+  const std::size_t nb = other.c_.size();
+  const std::size_t common = na < nb ? na : nb;
+  const std::uint64_t* a = c_.data();
+  const std::uint64_t* b = other.c_.data();
+  std::uint64_t gt = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    gt |= static_cast<std::uint64_t>(a[i] > b[i]);
+  }
+  for (std::size_t i = common; i < na; ++i) {
+    gt |= static_cast<std::uint64_t>(a[i] != 0);
+  }
+  return gt == 0;
 }
 
 bool VectorClock::operator==(const VectorClock& other) const {
-  return leq(other) && other.leq(*this);
+  // Single pass instead of two leq scans: equal on the common prefix and
+  // all-zero on whichever tail exists (length padding is not significant).
+  const std::size_t na = c_.size();
+  const std::size_t nb = other.c_.size();
+  const std::size_t common = na < nb ? na : nb;
+  const std::uint64_t* a = c_.data();
+  const std::uint64_t* b = other.c_.data();
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    diff |= a[i] ^ b[i];
+  }
+  for (std::size_t i = common; i < na; ++i) diff |= a[i];
+  for (std::size_t i = common; i < nb; ++i) diff |= b[i];
+  return diff == 0;
 }
 
 std::string VectorClock::to_string() const {

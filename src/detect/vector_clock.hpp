@@ -17,11 +17,15 @@ class VectorClock {
  public:
   VectorClock() = default;
   explicit VectorClock(std::size_t nthreads) : c_(nthreads, 0) {}
+  /// Copy from a raw component span (epoch-engine StampView materialization).
+  VectorClock(const std::uint64_t* data, std::size_t n) : c_(data, data + n) {}
 
   std::uint64_t get(trace::Tid tid) const {
     const auto i = static_cast<std::size_t>(tid);
     return i < c_.size() ? c_[i] : 0;
   }
+
+  const std::uint64_t* data() const { return c_.data(); }
 
   void set(trace::Tid tid, std::uint64_t value);
 
@@ -30,6 +34,11 @@ class VectorClock {
 
   /// Pointwise maximum with another clock.
   void join(const VectorClock& other);
+
+  /// Pointwise minimum with another clock (components past either clock's
+  /// length read as zero, so the result truncates to the shorter size).
+  /// Used to fold the retirement watermark across live threads.
+  void meet(const VectorClock& other);
 
   /// True if *this <= other pointwise ("this happens-before-or-equals other").
   bool leq(const VectorClock& other) const;
@@ -42,6 +51,8 @@ class VectorClock {
   bool operator==(const VectorClock& other) const;
 
   std::size_t size() const { return c_.size(); }
+  /// Heap bytes held by the component buffer (resident-memory accounting).
+  std::size_t heap_bytes() const { return c_.capacity() * sizeof(std::uint64_t); }
   std::string to_string() const;
 
  private:

@@ -19,6 +19,7 @@ detect::RaceDetectorConfig make_detector_config(const SessionConfig& cfg) {
   dcfg.max_pairs_per_var = cfg.max_pairs_per_var;
   dcfg.algo = cfg.detector_algo;
   dcfg.analysis_threads = cfg.analysis_threads;
+  dcfg.clock = cfg.clock_engine;
   return dcfg;
 }
 

@@ -71,6 +71,8 @@ struct SessionConfig {
   /// Worker threads for the per-variable analysis; 0 = auto
   /// (hardware_concurrency), 1 = serial.
   std::size_t analysis_threads = 0;
+  /// Stamp representation (epoch default; vector kept for cross-checks).
+  detect::ClockEngine clock_engine = detect::ClockEngine::kEpoch;
   /// Post-mortem (default) or streaming detection during the run.
   AnalysisMode mode = AnalysisMode::kPostMortem;
   OnlineOptions online;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/detect/clock_arena.hpp"
 #include "src/obs/span.hpp"
 #include "src/obs/telemetry.hpp"
 #include "src/spec/monitored.hpp"
@@ -25,6 +26,15 @@ struct AnalyzerMetrics {
       obs::Registry::global().counter("online.records_retired");
   obs::Gauge& lag = obs::Registry::global().gauge("online.watermark.lag");
   obs::Gauge& resident = obs::Registry::global().gauge("online.resident");
+  // Clock-engine health (DESIGN.md §10): folded as batched deltas at
+  // checkpoints, never per comparison.
+  obs::Counter& epoch_hits =
+      obs::Registry::global().counter("clock.epoch_hits");
+  obs::Counter& promotions =
+      obs::Registry::global().counter("clock.epoch_promotions");
+  obs::Counter& allocs = obs::Registry::global().counter("clock.allocs");
+  obs::Gauge& clock_bytes =
+      obs::Registry::global().gauge("clock.resident_bytes");
 };
 
 AnalyzerMetrics& analyzer_metrics() {
@@ -52,9 +62,10 @@ OnlineAnalyzer::OnlineAnalyzer(OnlineConfig cfg,
       stream_(cfg_.stream),
       hb_(hb_config_for(cfg_.detector)),
       frontier_(cfg_.detector),
-      matcher_(strings, [this](spec::Violation&& v) {
-        stream_.offer(std::move(v));
-      }) {
+      matcher_(
+          strings,
+          [this](spec::Violation&& v) { stream_.offer(std::move(v)); },
+          cfg_.detector.clock) {
   worker_ = std::thread([this] { run(); });
 }
 
@@ -70,7 +81,7 @@ void OnlineAnalyzer::run() {
 }
 
 void OnlineAnalyzer::process(const trace::Event& e) {
-  const detect::VectorClock& stamp = hb_.advance(e);
+  const detect::StampView stamp = hb_.advance(e);
   analyzer_metrics().events.add(1);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -102,13 +113,14 @@ void OnlineAnalyzer::process(const trace::Event& e) {
     rec->tid = e.tid;
     rec->write = e.is_write();
     rec->locks = e.locks_held;
-    rec->stamp = stamp;
     if (e.aux != 0) {
       auto it = calls_pending_.find(static_cast<trace::Seq>(e.aux));
       if (it != calls_pending_.end()) rec->call = it->second;
     }
     hits_.clear();
-    frontier_.on_access(e.obj, std::move(rec), &hits_);
+    // The frontier fills rec->stamp per the configured clock engine (epoch
+    // with promotion-on-concurrency, or the baseline full copy).
+    frontier_.on_access(e.obj, std::move(rec), stamp, &hits_);
     if (!hits_.empty() && spec::is_monitored_var(e.obj)) {
       for (const auto& hit : hits_) {
         matcher_.on_concurrent_pair(e.obj, *hit.first, *hit.second);
@@ -132,10 +144,14 @@ void OnlineAnalyzer::checkpoint() {
   analyzer_metrics().lag.set(0);
 
   const std::size_t resident = resident_state();
+  const std::size_t clock_bytes = resident_clock_bytes();
   analyzer_metrics().resident.set(static_cast<std::int64_t>(resident));
+  analyzer_metrics().clock_bytes.set(static_cast<std::int64_t>(clock_bytes));
+  fold_clock_counters();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.peak_resident = std::max(stats_.peak_resident, resident);
+    stats_.peak_clock_bytes = std::max(stats_.peak_clock_bytes, clock_bytes);
   }
 
   if (cfg_.retire_interval == 0) return;
@@ -154,6 +170,9 @@ void OnlineAnalyzer::checkpoint() {
   const std::size_t reclaimed = frontier_.retire(watermark);
   hb_.retire(watermark);
   matcher_.retire(watermark);
+  // Retired records were the last holders of most interned clocks; drop the
+  // arena's now-unshared entries so its footprint tracks the working set.
+  detect::ClockArena::global().compact();
   analyzer_metrics().epochs.add(1);
   analyzer_metrics().records.add(reclaimed);
   {
@@ -163,16 +182,35 @@ void OnlineAnalyzer::checkpoint() {
   }
 }
 
+void OnlineAnalyzer::fold_clock_counters() {
+  const std::size_t hits = frontier_.epoch_hits();
+  const std::size_t promos = frontier_.epoch_promotions();
+  const std::size_t allocs = frontier_.clock_allocs() + matcher_.clock_allocs();
+  AnalyzerMetrics& m = analyzer_metrics();
+  if (hits > folded_epoch_hits_) m.epoch_hits.add(hits - folded_epoch_hits_);
+  if (promos > folded_promotions_) m.promotions.add(promos - folded_promotions_);
+  if (allocs > folded_allocs_) m.allocs.add(allocs - folded_allocs_);
+  folded_epoch_hits_ = hits;
+  folded_promotions_ = promos;
+  folded_allocs_ = allocs;
+}
+
 void OnlineAnalyzer::finish() {
   if (finished_) return;
   finished_ = true;
   queue_.close();
   if (worker_.joinable()) worker_.join();
 
+  fold_clock_counters();
   const std::size_t resident = resident_state();
+  const std::size_t clock_bytes = resident_clock_bytes();
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.final_resident = resident;
   stats_.peak_resident = std::max(stats_.peak_resident, resident);
+  stats_.final_clock_bytes = clock_bytes;
+  stats_.peak_clock_bytes = std::max(stats_.peak_clock_bytes, clock_bytes);
+  stats_.epoch_hits = frontier_.epoch_hits();
+  stats_.epoch_promotions = frontier_.epoch_promotions();
   for (const auto& [var, meta] : frontier_.meta()) {
     if (!spec::is_monitored_var(var)) continue;
     ++stats_.monitored_variables;
@@ -206,6 +244,11 @@ OnlineStats OnlineAnalyzer::stats() const {
 std::size_t OnlineAnalyzer::resident_state() const {
   return frontier_.resident_records() + hb_.resident_entries() +
          matcher_.resident_calls() + calls_pending_.size();
+}
+
+std::size_t OnlineAnalyzer::resident_clock_bytes() const {
+  return frontier_.resident_clock_bytes() + hb_.resident_clock_bytes() +
+         matcher_.resident_clock_bytes();
 }
 
 }  // namespace home::online

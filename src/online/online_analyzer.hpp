@@ -74,6 +74,16 @@ struct OnlineStats {
   /// interval.
   std::size_t peak_resident = 0;
   std::size_t final_resident = 0;
+  /// Heap bytes pinned by retained clock payloads (frontier records +
+  /// matcher calls + thread/sync clocks), sampled like peak_resident.  The
+  /// headline metric of the epoch clock engine: epoch-only records pin no
+  /// clock bytes at all.
+  std::size_t peak_clock_bytes = 0;
+  std::size_t final_clock_bytes = 0;
+  /// Clock-engine tallies (kEpoch): O(1)-path comparisons and records
+  /// promoted to full clocks on true concurrency.
+  std::size_t epoch_hits = 0;
+  std::size_t epoch_promotions = 0;
   std::size_t monitored_variables = 0;
   std::size_t concurrent_variables = 0;
   std::size_t concurrent_pairs = 0;
@@ -111,10 +121,14 @@ class OnlineAnalyzer : public trace::EventSink {
   /// benign race while the analysis thread runs).
   std::size_t resident_state() const;
 
+  /// Current heap bytes pinned by retained clocks (same caveat as above).
+  std::size_t resident_clock_bytes() const;
+
  private:
   void run();
   void process(const trace::Event& e);
   void checkpoint();  ///< resident sampling + periodic retirement.
+  void fold_clock_counters();  ///< batch frontier/matcher tallies into obs.
 
   OnlineConfig cfg_;
   const trace::ThreadRegistry* registry_;
@@ -133,6 +147,12 @@ class OnlineAnalyzer : public trace::EventSink {
 
   std::vector<detect::IncrementalFrontier::PairHit> hits_;  ///< scratch.
   std::size_t events_since_checkpoint_ = 0;
+  /// Clock-engine tallies already folded into obs::Registry (deltas are
+  /// added at each checkpoint; the engines keep plain local counters so the
+  /// hot loops never touch an atomic).
+  std::size_t folded_epoch_hits_ = 0;
+  std::size_t folded_promotions_ = 0;
+  std::size_t folded_allocs_ = 0;
 
   mutable std::mutex stats_mu_;
   OnlineStats stats_;

@@ -36,8 +36,19 @@ void OnlineMatcher::on_region_begin(const Event& e) {
   check_single(rs, e.rank);
 }
 
+detect::Stamp OnlineMatcher::retain(const detect::StampView& view) {
+  if (clock_ == detect::ClockEngine::kEpoch) {
+    // Exact for every stamp use here: finalizes compare against *earlier*
+    // calls (the epoch lemma applies) and retirement compares against the
+    // watermark meet — so 16 bytes per retained call suffice.
+    return detect::Stamp::epoch(view);
+  }
+  ++clock_allocs_;
+  return detect::Stamp::full_copy(view);
+}
+
 void OnlineMatcher::on_call(const std::shared_ptr<const trace::Event>& call,
-                            const detect::VectorClock& stamp) {
+                            const detect::StampView& stamp) {
   const Event& e = *call;
   if (!e.mpi) return;
   RankState& rs = ranks_[e.rank];
@@ -73,11 +84,11 @@ void OnlineMatcher::on_call(const std::shared_ptr<const trace::Event>& call,
     // calls precede the finalize in program order — no violation.
     for (const LiveCall& c : rs.live_calls) {
       if (c.ev->tid == e.tid) continue;
-      if (!c.stamp.leq(stamp)) {
+      if (!c.stamp.leq_later(stamp)) {
         emit(rules::finalize_unordered(e, *c.ev, strings_));
       }
     }
-    rs.finalizes.push_back(LiveCall{call, stamp});
+    rs.finalizes.push_back(LiveCall{call, retain(stamp)});
     return;
   }
 
@@ -91,7 +102,7 @@ void OnlineMatcher::on_call(const std::shared_ptr<const trace::Event>& call,
       emit(rules::finalize_unordered(*f.ev, e, strings_));
     }
   }
-  rs.live_calls.push_back(LiveCall{call, stamp});
+  rs.live_calls.push_back(LiveCall{call, retain(stamp)});
 }
 
 void OnlineMatcher::on_concurrent_pair(trace::ObjId var,
@@ -152,6 +163,16 @@ std::size_t OnlineMatcher::resident_calls() const {
     (void)rank;
     n += rs.live_calls.size() + rs.finalizes.size() +
          rs.pre_init_off_main.size();
+  }
+  return n;
+}
+
+std::size_t OnlineMatcher::resident_clock_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [rank, rs] : ranks_) {
+    (void)rank;
+    for (const LiveCall& c : rs.live_calls) n += c.stamp.clock_bytes();
+    for (const LiveCall& c : rs.finalizes) n += c.stamp.clock_bytes();
   }
   return n;
 }

@@ -10,10 +10,14 @@
 //     has been observed, so off-main calls and the first concurrent pair
 //     seen before init are buffered and re-judged when init arrives.
 //   * V2 — a finalize is checked against every retained earlier call (using
-//     vector-clock stamps in place of the HbIndex: the post-mortem
+//     HB stamps in place of the HbIndex: the post-mortem
 //     "concurrent(fin, call) || ordered(fin, call)" is exactly
 //     "!stamp(call).leq(stamp(fin))" for distinct events), and every later
-//     call of the rank fires against the retained finalizes.
+//     call of the rank fires against the retained finalizes.  Retained call
+//     stamps follow the configured clock engine: 16-byte epochs under
+//     ClockEngine::kEpoch (the finalize is always stamped later, which makes
+//     the epoch test exact — stamp.hpp) or private full copies under
+//     ClockEngine::kVector.
 //   * V3–V6 — driven by the incremental frontier's concurrent pairs; the
 //     linked call events ride on the OnlineAccess records.
 //
@@ -33,6 +37,8 @@
 #include <vector>
 
 #include "src/detect/incremental.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/detect/stamp.hpp"
 #include "src/detect/vector_clock.hpp"
 #include "src/simmpi/types.hpp"
 #include "src/spec/matcher.hpp"
@@ -47,15 +53,17 @@ class OnlineMatcher {
  public:
   using Sink = std::function<void(Violation&&)>;
 
-  OnlineMatcher(const trace::StringTable* strings, Sink sink)
-      : strings_(strings), sink_(std::move(sink)) {}
+  OnlineMatcher(const trace::StringTable* strings, Sink sink,
+                detect::ClockEngine clock = detect::ClockEngine::kEpoch)
+      : strings_(strings), sink_(std::move(sink)), clock_(clock) {}
 
   /// A kRegionBegin event (parallel-region premise of V1/SINGLE).
   void on_region_begin(const trace::Event& e);
 
-  /// A kMpiCall event with its HB stamp.  Calls must arrive in seq order.
+  /// A kMpiCall event with its HB stamp view (from the same
+  /// IncrementalHb::advance call).  Calls must arrive in seq order.
   void on_call(const std::shared_ptr<const trace::Event>& call,
-               const detect::VectorClock& stamp);
+               const detect::StampView& stamp);
 
   /// A concurrent access pair on a monitored variable (from the incremental
   /// frontier); `first` is the older access.
@@ -68,12 +76,19 @@ class OnlineMatcher {
   /// Retained call records (live calls + finalizes + pre-init buffer).
   std::size_t resident_calls() const;
 
+  /// Heap bytes pinned by retained call stamps (epoch-only stamps pin none).
+  std::size_t resident_clock_bytes() const;
+
+  /// Cumulative private full-clock copies made (ClockEngine::kVector only);
+  /// the analyzer folds deltas into `clock.allocs` at checkpoints.
+  std::size_t clock_allocs() const { return clock_allocs_; }
+
   const MatcherStats& stats() const { return stats_; }
 
  private:
   struct LiveCall {
     std::shared_ptr<const trace::Event> ev;
-    detect::VectorClock stamp;
+    detect::Stamp stamp;
   };
   struct RankState {
     bool saw_init = false;
@@ -99,10 +114,14 @@ class OnlineMatcher {
   void check_funneled(RankState& rs,
                       const std::shared_ptr<const trace::Event>& call);
 
+  detect::Stamp retain(const detect::StampView& view);
+
   const trace::StringTable* strings_;
   Sink sink_;
+  detect::ClockEngine clock_;
   std::map<int, RankState> ranks_;
   MatcherStats stats_;
+  std::size_t clock_allocs_ = 0;
   std::vector<Violation> scratch_;
 };
 

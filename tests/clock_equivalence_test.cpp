@@ -1,0 +1,485 @@
+// Clock-engine equivalence (ISSUE-6 acceptance): the epoch engine and the
+// retained full-vector engine must be *verdict-equivalent* everywhere —
+//  * post-mortem: identical per-variable verdicts AND identical reported
+//    pair lists across all DetectorModes, both sweep algorithms, capped and
+//    uncapped, on seeded random traces,
+//  * online: identical streamed pair sequences at every retirement cadence,
+//    and identical end-to-end violation-key sets through the OnlineAnalyzer,
+//  * the supporting structures behave: FlatMap matches std::map under a
+//    randomized op sequence, and ClockArena dedupes content-equal clocks
+//    (trailing-zero padding included) and compacts unreferenced entries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.hpp"
+#include "src/detect/clock_arena.hpp"
+#include "src/detect/flat_map.hpp"
+#include "src/detect/incremental.hpp"
+#include "src/detect/race_detector.hpp"
+#include "src/detect/stamp.hpp"
+#include "src/home/check.hpp"
+#include "src/spec/violations.hpp"
+#include "src/util/rng.hpp"
+
+namespace home::detect {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+// ------------------------------------------------------ random trace builder
+
+/// Same shape as detect_equivalence_test's builder: threads interleave
+/// accesses on a small variable pool under locks, with barriers and
+/// cross-rank message edges — enough sync-edge variety to exercise every
+/// IncrementalHb path the epoch lemma relies on.
+std::vector<Event> random_trace(std::uint64_t seed) {
+  util::Rng rng(seed * 0xD1B54A32D192ED03ULL + 29);
+  const int threads = 2 + static_cast<int>(rng.next_below(4));   // 2..5
+  const int vars = 3 + static_cast<int>(rng.next_below(6));      // 3..8
+  const int locks = 1 + static_cast<int>(rng.next_below(3));     // 1..3
+  const int steps = 200 + static_cast<int>(rng.next_below(600));
+
+  std::vector<std::vector<trace::ObjId>> held(
+      static_cast<std::size_t>(threads));
+  std::vector<Event> events;
+  trace::Seq seq = 1;
+  trace::ObjId next_msg = 7000;
+  std::vector<trace::ObjId> in_flight;
+
+  auto emit = [&](trace::Tid tid, EventKind kind, trace::ObjId obj,
+                  std::uint64_t aux = 0) {
+    Event e;
+    e.seq = seq++;
+    e.tid = tid;
+    e.kind = kind;
+    e.obj = obj;
+    e.aux = aux;
+    e.locks_held = held[static_cast<std::size_t>(tid)];
+    std::sort(e.locks_held.begin(), e.locks_held.end());
+    events.push_back(std::move(e));
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    const auto tid = static_cast<trace::Tid>(
+        rng.next_below(static_cast<std::uint64_t>(threads)));
+    auto& mine = held[static_cast<std::size_t>(tid)];
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 55) {
+      const trace::ObjId var =
+          100 + rng.next_below(static_cast<std::uint64_t>(vars));
+      emit(tid,
+           rng.next_bool(0.6) ? EventKind::kMemWrite : EventKind::kMemRead,
+           var);
+    } else if (roll < 70) {
+      const trace::ObjId lock =
+          500 + rng.next_below(static_cast<std::uint64_t>(locks));
+      if (std::find(mine.begin(), mine.end(), lock) == mine.end()) {
+        emit(tid, EventKind::kLockAcquire, lock);
+        mine.push_back(lock);
+      }
+    } else if (roll < 85) {
+      if (!mine.empty()) {
+        const std::size_t pick = rng.next_below(mine.size());
+        const trace::ObjId lock = mine[pick];
+        mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(pick));
+        emit(tid, EventKind::kLockRelease, lock);
+      }
+    } else if (roll < 92) {
+      if (rng.next_bool(0.5) || in_flight.empty()) {
+        const trace::ObjId msg = next_msg++;
+        emit(tid, EventKind::kMsgSend, msg);
+        in_flight.push_back(msg);
+      } else {
+        const std::size_t pick = rng.next_below(in_flight.size());
+        const trace::ObjId msg = in_flight[pick];
+        in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+        emit(tid, EventKind::kMsgRecv, msg);
+      }
+    } else if (roll < 97) {
+      const trace::ObjId barrier = 9000 + static_cast<trace::ObjId>(step);
+      for (trace::Tid t = 0; t < threads; ++t) {
+        emit(t, EventKind::kBarrier, barrier,
+             static_cast<std::uint64_t>(threads));
+      }
+    }
+  }
+  return events;
+}
+
+int max_tid(const std::vector<Event>& events) {
+  int m = 0;
+  for (const Event& e : events) m = std::max(m, static_cast<int>(e.tid));
+  return m;
+}
+
+// ----------------------------------------------- post-mortem pair equality
+
+using SeqPair = std::pair<trace::Seq, trace::Seq>;
+
+std::map<trace::ObjId, std::vector<SeqPair>> report_pairs(
+    const ConcurrencyReport& report) {
+  std::map<trace::ObjId, std::vector<SeqPair>> out;
+  for (const auto& [var, verdict] : report.verdicts()) {
+    auto& pairs = out[var];
+    for (const ConcurrentPair& p : verdict.pairs) {
+      pairs.emplace_back(report.hb().events()[p.first].seq,
+                         report.hb().events()[p.second].seq);
+    }
+  }
+  return out;
+}
+
+class ClockEngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClockEngineEquivalence, PostMortemVerdictsAndPairsMatch) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<Event> events = random_trace(seed);
+  for (const DetectorMode mode :
+       {DetectorMode::kHybrid, DetectorMode::kLocksetOnly,
+        DetectorMode::kHbOnly}) {
+    for (const DetectorAlgo algo :
+         {DetectorAlgo::kFrontier, DetectorAlgo::kPairwise}) {
+      for (const std::size_t cap : {std::size_t{64}, std::size_t{0}}) {
+        RaceDetectorConfig epoch;
+        epoch.mode = mode;
+        epoch.algo = algo;
+        epoch.max_pairs_per_var = cap;
+        epoch.analysis_threads = 1;
+        epoch.clock = ClockEngine::kEpoch;
+        RaceDetectorConfig vector = epoch;
+        vector.clock = ClockEngine::kVector;
+
+        const ConcurrencyReport er = RaceDetector(epoch).analyze(events);
+        const ConcurrencyReport vr = RaceDetector(vector).analyze(events);
+        // Identical pair lists implies identical verdicts, pair budgets, and
+        // representative choices — the engines must be indistinguishable to
+        // every downstream consumer.
+        EXPECT_EQ(report_pairs(er), report_pairs(vr))
+            << "mode=" << detector_mode_name(mode)
+            << " algo=" << detector_algo_name(algo) << " cap=" << cap
+            << " seed=" << seed;
+        for (const auto& [var, verdict] : er.verdicts()) {
+          const VariableVerdict* other = vr.verdict(var);
+          ASSERT_NE(other, nullptr);
+          EXPECT_EQ(verdict.concurrent, other->concurrent) << "var=" << var;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockEngineEquivalence,
+                         ::testing::Range(0, 60));
+
+// --------------------------------------------------- streamed pair equality
+
+std::map<trace::ObjId, std::vector<SeqPair>> streamed_pairs(
+    const std::vector<Event>& events, const RaceDetectorConfig& cfg,
+    std::size_t retire_every) {
+  HappensBeforeConfig hb_cfg;
+  hb_cfg.lock_edges = (cfg.mode == DetectorMode::kHbOnly);
+  IncrementalHb hb(hb_cfg);
+  for (int t = 0; t <= max_tid(events); ++t) {
+    hb.declare_thread(static_cast<trace::Tid>(t));
+  }
+  IncrementalFrontier frontier(cfg);
+
+  std::map<trace::ObjId, std::vector<SeqPair>> out;
+  std::vector<IncrementalFrontier::PairHit> hits;
+  std::size_t since_retire = 0;
+  for (const Event& e : events) {
+    const StampView stamp = hb.advance(e);
+    if (e.is_access()) {
+      auto rec = std::make_shared<OnlineAccess>();
+      rec->seq = e.seq;
+      rec->tid = e.tid;
+      rec->write = e.is_write();
+      rec->locks = e.locks_held;
+      hits.clear();
+      frontier.on_access(e.obj, std::move(rec), stamp, &hits);
+      auto& pairs = out[e.obj];
+      for (const auto& hit : hits) {
+        pairs.emplace_back(hit.first->seq, hit.second->seq);
+      }
+    }
+    if (retire_every != 0 && ++since_retire >= retire_every) {
+      since_retire = 0;
+      VectorClock wm;
+      if (hb.watermark(&wm)) {
+        frontier.retire(wm);
+        hb.retire(wm);
+      }
+    }
+  }
+  return out;
+}
+
+class ClockEngineStreaming : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClockEngineStreaming, StreamedPairsMatchAtEveryRetireCadence) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::vector<Event> events = random_trace(seed);
+  for (const DetectorMode mode :
+       {DetectorMode::kHybrid, DetectorMode::kHbOnly}) {
+    RaceDetectorConfig epoch;
+    epoch.mode = mode;
+    epoch.analysis_threads = 1;
+    epoch.clock = ClockEngine::kEpoch;
+    RaceDetectorConfig vector = epoch;
+    vector.clock = ClockEngine::kVector;
+    for (const std::size_t cadence :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      EXPECT_EQ(streamed_pairs(events, epoch, cadence),
+                streamed_pairs(events, vector, cadence))
+          << "mode=" << detector_mode_name(mode) << " cadence=" << cadence
+          << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockEngineStreaming, ::testing::Range(0, 24));
+
+TEST(ClockEngineStreaming, EpochRecordsPromoteOnlyOnConcurrency) {
+  // A racy trace: promotions happen, but only for records that proved racy;
+  // epoch-path comparisons dominate.
+  const std::vector<Event> events = random_trace(7);
+  RaceDetectorConfig cfg;
+  cfg.analysis_threads = 1;
+  cfg.clock = ClockEngine::kEpoch;
+  HappensBeforeConfig hb_cfg;
+  IncrementalHb hb(hb_cfg);
+  IncrementalFrontier frontier(cfg);
+  std::vector<IncrementalFrontier::PairHit> hits;
+  std::size_t pairs = 0;
+  for (const Event& e : events) {
+    const StampView stamp = hb.advance(e);
+    if (!e.is_access()) continue;
+    auto rec = std::make_shared<OnlineAccess>();
+    rec->seq = e.seq;
+    rec->tid = e.tid;
+    rec->write = e.is_write();
+    rec->locks = e.locks_held;
+    hits.clear();
+    frontier.on_access(e.obj, std::move(rec), stamp, &hits);
+    pairs += hits.size();
+    for (const auto& hit : hits) {
+      // The incoming (younger) record of a racy pair is always promoted.
+      EXPECT_TRUE(hit.second->stamp.has_clock());
+    }
+  }
+  ASSERT_GT(pairs, 0u) << "trace should be racy";
+  EXPECT_GT(frontier.epoch_hits(), 0u);
+  EXPECT_GT(frontier.epoch_promotions(), 0u);
+  // Promotions are bounded by racy records, never the whole stream.
+  EXPECT_LE(frontier.epoch_promotions(), pairs);
+  EXPECT_EQ(frontier.clock_allocs(), 0u);  // no private copies under kEpoch.
+}
+
+// -------------------------------------------- end-to-end online equivalence
+
+std::set<std::string> key_set(const Report& report) {
+  std::set<std::string> keys;
+  for (const spec::Violation& v : report.violations()) {
+    keys.insert(spec::violation_key(v));
+  }
+  return keys;
+}
+
+TEST(ClockEngineOnline, AnalyzerViolationKeySetsMatchAcrossEngines) {
+  // The full streaming pipeline (Session in kOnline mode) on the paper's
+  // injected-violation app: both engines must report the same violation-key
+  // set and reconcile cleanly against the post-mortem pass.
+  const apps::AppConfig app = apps::paper_config(apps::AppKind::kLU, 2);
+  auto rank_main = [&app](simmpi::Process& p) { apps::run_app_rank(app, p); };
+
+  auto run = [&](ClockEngine engine, std::size_t retire_interval) {
+    CheckConfig cfg;
+    cfg.nranks = app.nranks;
+    cfg.nthreads = app.nthreads;
+    cfg.block_timeout_ms = app.block_timeout_ms;
+    cfg.session.mode = AnalysisMode::kOnline;
+    cfg.session.clock_engine = engine;
+    cfg.session.online.retire_interval = retire_interval;
+    return check_program(cfg, rank_main);
+  };
+
+  for (const std::size_t retire : {std::size_t{64}, std::size_t{1024}}) {
+    const CheckResult epoch = run(ClockEngine::kEpoch, retire);
+    const CheckResult vector = run(ClockEngine::kVector, retire);
+    ASSERT_TRUE(epoch.run.ok());
+    ASSERT_TRUE(vector.run.ok());
+    EXPECT_TRUE(epoch.reconciliation.ran);
+    EXPECT_TRUE(epoch.reconciliation.equivalent) << "retire=" << retire;
+    EXPECT_TRUE(vector.reconciliation.equivalent) << "retire=" << retire;
+    EXPECT_EQ(key_set(epoch.report), key_set(vector.report))
+        << "retire=" << retire;
+    EXPECT_FALSE(key_set(epoch.report).empty());
+  }
+}
+
+// ------------------------------------------------------------- ClockArena
+
+TEST(ClockArena, InternDedupesAndNormalizesTrailingZeros) {
+  ClockArena arena;
+  const std::uint64_t a[] = {3, 5, 0, 0};
+  const std::uint64_t b[] = {3, 5};
+  const std::uint64_t c[] = {3, 5, 7};
+  const ClockRef ra = arena.intern(a, 4);
+  const ClockRef rb = arena.intern(b, 2);
+  const ClockRef rc = arena.intern(c, 3);
+  EXPECT_EQ(ra.get(), rb.get());  // padding-insensitive: one allocation.
+  EXPECT_NE(ra.get(), rc.get());
+  EXPECT_EQ(ra->size(), 2u);  // stored normalized.
+  EXPECT_EQ(ra->get(0), 3u);
+  EXPECT_EQ(ra->get(1), 5u);
+  EXPECT_EQ(ra->get(9), 0u);  // out-of-range reads as zero.
+  EXPECT_EQ(arena.resident_clocks(), 2u);
+}
+
+TEST(ClockArena, CompactDropsOnlyUnreferencedClocks) {
+  ClockArena arena;
+  const std::uint64_t a[] = {1, 2};
+  const std::uint64_t b[] = {9};
+  ClockRef keep = arena.intern(a, 2);
+  arena.intern(b, 1);  // ref dropped immediately; only the table holds it.
+  ASSERT_EQ(arena.resident_clocks(), 2u);
+  EXPECT_EQ(arena.compact(), 1u);  // only the unreferenced entry goes.
+  EXPECT_EQ(arena.resident_clocks(), 1u);
+  // The survivor is still served from the table.
+  EXPECT_EQ(arena.intern(a, 2).get(), keep.get());
+}
+
+TEST(ClockArena, EmptyClockInterns) {
+  ClockArena arena;
+  const std::uint64_t zeros[] = {0, 0, 0};
+  const ClockRef r1 = arena.intern(zeros, 3);
+  const ClockRef r2 = arena.intern(nullptr, 0);
+  EXPECT_EQ(r1.get(), r2.get());
+  EXPECT_EQ(r1->size(), 0u);
+}
+
+// ---------------------------------------------------------------- FlatMap
+
+TEST(FlatMap, RandomizedOpsMatchStdMap) {
+  util::Rng rng(1234);
+  FlatMap<std::uint64_t> flat;
+  std::map<trace::ObjId, std::uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const trace::ObjId key = rng.next_below(200);  // dense enough to collide.
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 50) {
+      const std::uint64_t v = rng.next_below(1000);
+      flat[key] = v;
+      ref[key] = v;
+    } else if (roll < 75) {
+      EXPECT_EQ(flat.erase(key), ref.erase(key) > 0) << "op " << op;
+    } else {
+      const std::uint64_t* got = flat.find(key);
+      auto it = ref.find(key);
+      ASSERT_EQ(got != nullptr, it != ref.end()) << "op " << op;
+      if (got != nullptr) {
+        EXPECT_EQ(*got, it->second) << "op " << op;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+  }
+  // Full-content check via iteration.
+  std::map<trace::ObjId, std::uint64_t> dumped;
+  flat.for_each([&dumped](trace::ObjId k, const std::uint64_t& v) {
+    dumped[k] = v;
+  });
+  EXPECT_EQ(dumped, ref);
+}
+
+TEST(FlatMap, EraseIfMatchesStdMapSemantics) {
+  util::Rng rng(77);
+  FlatMap<std::uint64_t> flat;
+  std::map<trace::ObjId, std::uint64_t> ref;
+  for (int i = 0; i < 500; ++i) {
+    const trace::ObjId key = rng.next_below(300);
+    const std::uint64_t v = rng.next_below(10);
+    flat[key] = v;
+    ref[key] = v;
+  }
+  const std::size_t removed = flat.erase_if(
+      [](trace::ObjId, const std::uint64_t& v) { return v % 3 == 0; });
+  std::size_t ref_removed = 0;
+  for (auto it = ref.begin(); it != ref.end();) {
+    if (it->second % 3 == 0) {
+      it = ref.erase(it);
+      ++ref_removed;
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(removed, ref_removed);
+  std::map<trace::ObjId, std::uint64_t> dumped;
+  flat.for_each([&dumped](trace::ObjId k, const std::uint64_t& v) {
+    dumped[k] = v;
+  });
+  EXPECT_EQ(dumped, ref);
+}
+
+// ------------------------------------------------------------------ Stamp
+
+TEST(Stamp, EpochLeqAgainstLaterViewAndWatermark) {
+  // Build a real two-thread history through IncrementalHb and verify the
+  // epoch answers match full-clock answers for a retained stamp.
+  IncrementalHb hb;
+  Event w1;
+  w1.seq = 1;
+  w1.tid = 0;
+  w1.kind = EventKind::kMemWrite;
+  w1.obj = 100;
+  const StampView v1 = hb.advance(w1);
+  const Stamp epoch = Stamp::epoch(v1);
+  const Stamp full = Stamp::full_copy(v1);
+  const VectorClock c1 = v1.to_clock();
+
+  // Unsynchronized second thread: not ordered.
+  Event w2;
+  w2.seq = 2;
+  w2.tid = 1;
+  w2.kind = EventKind::kMemWrite;
+  w2.obj = 100;
+  const StampView v2 = hb.advance(w2);
+  EXPECT_FALSE(epoch.leq_later(v2));
+  EXPECT_FALSE(full.leq_later(v2));
+  EXPECT_TRUE(stamp_concurrent_full(full, v2));
+
+  // Synchronize via a message edge: now ordered.
+  Event send;
+  send.seq = 3;
+  send.tid = 0;
+  send.kind = EventKind::kMsgSend;
+  send.obj = 7000;
+  hb.advance(send);
+  Event recv;
+  recv.seq = 4;
+  recv.tid = 1;
+  recv.kind = EventKind::kMsgRecv;
+  recv.obj = 7000;
+  const StampView v4 = hb.advance(recv);
+  EXPECT_TRUE(epoch.leq_later(v4));
+  EXPECT_TRUE(full.leq_later(v4));
+  EXPECT_FALSE(stamp_concurrent_full(full, v4));
+
+  // Watermark form: epoch vs the meet of both live clocks.
+  VectorClock wm;
+  ASSERT_TRUE(hb.watermark(&wm));
+  EXPECT_EQ(epoch.leq(wm), full.leq(wm));
+  EXPECT_EQ(epoch.leq(c1), true);  // its own clock dominates it.
+
+  EXPECT_EQ(epoch.clock_bytes(), 0u);
+  EXPECT_GT(full.clock_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace home::detect

@@ -64,6 +64,53 @@ TEST(VectorClock, ConcurrencyDetected) {
   EXPECT_TRUE(b.leq(a));
 }
 
+TEST(VectorClock, EqualityIgnoresTrailingZeroPadding) {
+  // Clocks of different lengths are equal as functions Tid -> value when the
+  // longer one only adds trailing zeros (a clock created before later
+  // threads registered must compare equal to its padded twin).
+  VectorClock a, b;
+  a.set(0, 3);
+  a.set(1, 5);
+  b.set(0, 3);
+  b.set(1, 5);
+  b.set(4, 0);  // pads b to length 5 with trailing zeros.
+  ASSERT_NE(a.size(), b.size());
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b == a);
+
+  // A non-zero component in the tail breaks equality in both orders.
+  VectorClock c = a;
+  c.set(4, 1);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(c == a);
+
+  // Same length, one differing component.
+  VectorClock d = a;
+  d.set(1, 6);
+  EXPECT_FALSE(a == d);
+
+  // Empty vs all-zero padded.
+  VectorClock empty, zeros;
+  zeros.set(7, 0);
+  EXPECT_TRUE(empty == zeros);
+  EXPECT_TRUE(zeros == empty);
+}
+
+TEST(VectorClockProperty, EqualityMatchesTwoSidedLeq) {
+  // The single-pass operator== must agree with the definitional
+  // leq-both-ways on random clocks of uneven lengths.
+  util::Rng rng(44);
+  for (int trial = 0; trial < 500; ++trial) {
+    VectorClock a, b;
+    const auto na = static_cast<trace::Tid>(1 + rng.next_below(6));
+    const auto nb = static_cast<trace::Tid>(1 + rng.next_below(6));
+    for (trace::Tid t = 0; t < na; ++t) a.set(t, rng.next_below(3));
+    for (trace::Tid t = 0; t < nb; ++t) b.set(t, rng.next_below(3));
+    EXPECT_EQ(a == b, a.leq(b) && b.leq(a)) << a.to_string() << " vs "
+                                            << b.to_string();
+  }
+}
+
 TEST(VectorClockProperty, JoinIsLeastUpperBound) {
   util::Rng rng(42);
   for (int trial = 0; trial < 200; ++trial) {

@@ -299,7 +299,11 @@ TEST(IncrementalHbTest, StampsMatchPostMortemReplay) {
     const detect::HbIndex hb = detect::HappensBeforeAnalysis(cfg).run(events);
     IncrementalHb inc(cfg);
     for (std::size_t i = 0; i < events.size(); ++i) {
-      ASSERT_TRUE(inc.advance(events[i]) == hb.stamp(i))
+      const detect::StampView view = inc.advance(events[i]);
+      ASSERT_TRUE(view.to_clock() == hb.stamp(i))
+          << "seed=" << seed << " event " << i;
+      // The epoch face of the view is the stamp's own component.
+      ASSERT_EQ(view.value, hb.stamp(i).get(events[i].tid))
           << "seed=" << seed << " event " << i;
     }
   }
@@ -403,16 +407,15 @@ std::map<trace::ObjId, std::vector<SeqPair>> streamed_pairs(
   std::size_t since_retire = 0;
   std::size_t peak = 0;
   for (const Event& e : events) {
-    const VectorClock& stamp = hb.advance(e);
+    const detect::StampView stamp = hb.advance(e);
     if (e.is_access()) {
       auto rec = std::make_shared<OnlineAccess>();
       rec->seq = e.seq;
       rec->tid = e.tid;
       rec->write = e.is_write();
       rec->locks = e.locks_held;
-      rec->stamp = stamp;
       hits.clear();
-      frontier.on_access(e.obj, std::move(rec), &hits);
+      frontier.on_access(e.obj, std::move(rec), stamp, &hits);
       auto& pairs = out[e.obj];
       for (const auto& hit : hits) {
         pairs.emplace_back(hit.first->seq, hit.second->seq);
@@ -577,14 +580,13 @@ TEST(FrontierHistoryEviction, IncrementalFrontierMatchesAndRetireIsSafe) {
   trace::Seq seq = 1;
   for (int i = 0; i < 20; ++i) {
     const Event e = access_event(seq++, 0, kVar);
-    const VectorClock& stamp = hb.advance(e);
+    const detect::StampView stamp = hb.advance(e);
     auto rec = std::make_shared<OnlineAccess>();
     rec->seq = e.seq;
     rec->tid = e.tid;
     rec->write = true;
-    rec->stamp = stamp;
     hits.clear();
-    frontier.on_access(kVar, std::move(rec), &hits);
+    frontier.on_access(kVar, std::move(rec), stamp, &hits);
     EXPECT_TRUE(hits.empty());
   }
 
@@ -594,14 +596,13 @@ TEST(FrontierHistoryEviction, IncrementalFrontierMatchesAndRetireIsSafe) {
   const std::size_t resident_before = frontier.resident_records();
 
   const Event racer = access_event(seq++, 1, kVar);
-  const VectorClock& stamp = hb.advance(racer);
+  const detect::StampView stamp = hb.advance(racer);
   auto rec = std::make_shared<OnlineAccess>();
   rec->seq = racer.seq;
   rec->tid = racer.tid;
   rec->write = true;
-  rec->stamp = stamp;
   hits.clear();
-  frontier.on_access(kVar, std::move(rec), &hits);
+  frontier.on_access(kVar, std::move(rec), stamp, &hits);
   EXPECT_FALSE(hits.empty());
   EXPECT_TRUE(frontier.concurrent(kVar));
   EXPECT_GE(frontier.resident_records(), resident_before + 1);
