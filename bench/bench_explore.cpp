@@ -1,0 +1,182 @@
+// Exploration bench (ISSUE-7): the cost of controlled scheduling.
+//
+// Experiments (one JSON row each, stdout and --json-out, default
+// BENCH_explore.json):
+//   explore_hook_disabled  ns per hook hit with no Explorer installed (the
+//                          one-load fast path every production run pays),
+//                          and the implied overhead on an uncontrolled
+//                          hidden-race run (hook hits x ns / runtime) —
+//                          acceptance gate < 5%.
+//   explore_sweep_rate     schedules/sec of a wildcard sweep of the
+//                          hidden-race app, full Session per schedule.
+//   explore_finding        seed budget actually needed for the hidden V3
+//                          and replay fidelity of the recorded schedule.
+//
+// Modes:
+//   bench_explore          full sweep (64 schedules)
+//   bench_explore --smoke  fast gate: disabled-hook overhead < 5%, a 16-seed
+//                          fixed sweep finds the hidden violation the
+//                          baseline missed, replay reproduces it; ctest runs
+//                          this.
+//
+// Knobs: --schedules, --reps, --json-out.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench/fig_common.hpp"
+#include "src/apps/hidden_race.hpp"
+#include "src/explore/hooks.hpp"
+#include "src/explore/sweeper.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace home;
+
+explore::Sweeper::RankMain hidden_main() {
+  return [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };
+}
+
+explore::SweepConfig hidden_config(explore::StrategyKind strategy,
+                                   int schedules) {
+  explore::SweepConfig cfg;
+  cfg.nranks = apps::kHiddenRaceRanks;
+  cfg.nthreads = 2;
+  cfg.schedules = schedules;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+/// ns per hook hit on the disabled fast path (one relaxed load + branch);
+/// measured over a yield + pick pair so both hook flavours are covered.
+double disabled_hook_ns(int reps, std::size_t* sink) {
+  util::Stopwatch timer;
+  for (int i = 0; i < reps; ++i) {
+    explore::yield_point(explore::HookKind::kMpiCall, 0, "bench.site");
+    *sink += explore::pick_point(explore::HookKind::kWildcardPick, 0,
+                                 "bench.site", 4);
+  }
+  return timer.elapsed_seconds() * 1e9 / (2.0 * reps);
+}
+
+struct Output {
+  std::FILE* json = nullptr;
+  void emit(const bench::JsonRow& row) {
+    row.print(stdout);
+    if (json != nullptr) row.print(json);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const int schedules = flags.get_int("schedules", smoke ? 16 : 64);
+  const int reps = flags.get_int("reps", smoke ? 2000000 : 20000000);
+
+  const std::string json_path = flags.get("json-out", "BENCH_explore.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_explore: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  Output out;
+  out.json = json;
+  bool ok = true;
+
+  // ---------------------------------------------- disabled hook fast path
+  std::size_t sink = 0;
+  disabled_hook_ns(reps / 10, &sink);  // warm-up.
+  const double hook_ns = disabled_hook_ns(reps, &sink);
+
+  // Uncontrolled run wall-clock and per-run hook traffic: time the baseline
+  // (exploration off, hooks on their fast path), and count the hook hits an
+  // instrumented run of the same app makes.
+  explore::SweepConfig base_cfg =
+      hidden_config(explore::StrategyKind::kNone, 1);
+  base_cfg.run_baseline = true;
+  util::Stopwatch base_timer;
+  const int base_reps = smoke ? 5 : 20;
+  for (int i = 0; i < base_reps; ++i) {
+    explore::SweepConfig cfg = hidden_config(explore::StrategyKind::kNone, 0);
+    explore::Sweeper(cfg).run(hidden_main());
+  }
+  const double base_seconds = base_timer.elapsed_seconds() / base_reps;
+  const explore::SweepResult probe =
+      explore::Sweeper(base_cfg).run(hidden_main());
+  const double hits_per_run =
+      probe.schedules_run > 1
+          ? static_cast<double>(probe.hook_hits) / (probe.schedules_run - 1)
+          : static_cast<double>(probe.hook_hits);
+  const double overhead_pct =
+      base_seconds > 0.0
+          ? hits_per_run * hook_ns / (base_seconds * 1e9) * 100.0
+          : 0.0;
+
+  out.emit(bench::JsonRow("explore_hook_disabled")
+               .field("hook_ns", hook_ns)
+               .field("hits_per_run", hits_per_run)
+               .field("baseline_run_seconds", base_seconds)
+               .field("overhead_pct", overhead_pct)
+               .field("sink", sink));
+  if (overhead_pct >= 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled hook overhead %.3f%% >= 5%% gate "
+                 "(%.2f ns/hit, %.0f hits/run)\n",
+                 overhead_pct, hook_ns, hits_per_run);
+    ok = false;
+  }
+
+  // -------------------------------------------------------- sweep rate
+  const explore::SweepResult sweep =
+      explore::Sweeper(
+          hidden_config(explore::StrategyKind::kWildcardReorder, schedules))
+          .run(hidden_main());
+  const double rate =
+      sweep.seconds > 0.0 ? sweep.schedules_run / sweep.seconds : 0.0;
+  out.emit(bench::JsonRow("explore_sweep_rate")
+               .field("schedules", sweep.schedules_run)
+               .field("seconds", sweep.seconds)
+               .field("schedules_per_sec", rate)
+               .field("orderings", sweep.orderings.size())
+               .field("hook_hits", static_cast<std::size_t>(sweep.hook_hits)));
+
+  // ------------------------------------------- finding + replay fidelity
+  const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv";
+  const explore::SweepFinding* finding = nullptr;
+  for (const explore::SweepFinding& f : sweep.findings) {
+    if (f.key == kHiddenKey) finding = &f;
+  }
+  if (finding == nullptr || !sweep.baseline_keys.empty()) {
+    std::fprintf(stderr,
+                 "FAIL: hidden violation not exploration-exclusive "
+                 "(found=%d, baseline keys=%zu)\n%s",
+                 finding != nullptr, sweep.baseline_keys.size(),
+                 sweep.to_string().c_str());
+    ok = false;
+  } else {
+    explore::Sweeper replayer(
+        hidden_config(explore::StrategyKind::kWildcardReorder, 0));
+    const std::set<std::string> replay_keys =
+        replayer.replay(finding->schedule, hidden_main());
+    const bool reproduced = replay_keys.count(kHiddenKey) > 0;
+    out.emit(bench::JsonRow("explore_finding")
+                 .field("first_seen_schedule", finding->schedule_index)
+                 .field("first_seen_seed",
+                        static_cast<std::size_t>(finding->seed))
+                 .field("decisions", finding->schedule.decisions.size())
+                 .field("replay_reproduced", reproduced ? 1 : 0));
+    if (!reproduced) {
+      std::fprintf(stderr, "FAIL: replay did not reproduce %s\n", kHiddenKey);
+      ok = false;
+    }
+  }
+
+  std::fclose(json);
+  std::printf("%s (json: %s)\n", ok ? "OK" : "FAILED", json_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,174 @@
+// toolrun: run a corpus app under a tool configuration, optionally under the
+// controlled-schedule explorer.
+//
+//   Single run:    ./toolrun --app=lu --tool=home --nranks=2 --nthreads=2
+//   Exploration:   ./toolrun --app=hidden --explore=64 --strategy=wildcard
+//                            [--seed-base=1] [--schedule-dir=schedules]
+//   Replay:        ./toolrun --app=hidden --replay=schedules/seed5.schedule
+//
+// Apps: lu | bt | sp (paper injection configs; --clean disables injections)
+//       and hidden (the wildcard-gated hidden-race corpus program).
+// Exploration always analyzes with HOME; --tool selects the baseline tool
+// for single runs only.
+#include <cstdio>
+#include <string>
+
+#include "src/apps/app.hpp"
+#include "src/apps/hidden_race.hpp"
+#include "src/apps/toolrun.hpp"
+#include "src/explore/sweeper.hpp"
+#include "src/spec/violations.hpp"
+#include "src/util/flags.hpp"
+
+namespace {
+
+using namespace home;
+
+struct AppChoice {
+  std::string name;
+  int nranks = 2;
+  int nthreads = 2;
+  explore::Sweeper::RankMain rank_main;
+};
+
+bool make_app(const util::Flags& flags, AppChoice* out) {
+  out->name = flags.get("app", "lu");
+  out->nthreads = flags.get_int("nthreads", 2);
+  if (out->name == "hidden") {
+    out->nranks = apps::kHiddenRaceRanks;
+    out->rank_main = [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };
+    return true;
+  }
+  apps::AppKind kind;
+  if (out->name == "lu") {
+    kind = apps::AppKind::kLU;
+  } else if (out->name == "bt") {
+    kind = apps::AppKind::kBT;
+  } else if (out->name == "sp") {
+    kind = apps::AppKind::kSP;
+  } else {
+    std::fprintf(stderr, "unknown --app=%s (lu|bt|sp|hidden)\n",
+                 out->name.c_str());
+    return false;
+  }
+  out->nranks = flags.get_int("nranks", 2);
+  apps::AppConfig cfg = flags.get_bool("clean", false)
+                            ? apps::clean_config(kind, out->nranks,
+                                                 out->nthreads)
+                            : apps::paper_config(kind, out->nranks,
+                                                 out->nthreads);
+  out->rank_main = [cfg](simmpi::Process& p) { apps::run_app_rank(cfg, p); };
+  return true;
+}
+
+int run_single(const util::Flags& flags) {
+  const std::string app = flags.get("app", "lu");
+  if (app == "hidden") {
+    // The hidden app is not an injection benchmark; run it uncontrolled
+    // under HOME via the sweep driver's baseline path.
+    AppChoice choice;
+    if (!make_app(flags, &choice)) return 2;
+    explore::SweepConfig cfg;
+    cfg.nranks = choice.nranks;
+    cfg.nthreads = choice.nthreads;
+    cfg.schedules = 0;
+    const explore::SweepResult result =
+        explore::Sweeper(cfg).run(choice.rank_main);
+    std::printf("%s", result.to_string().c_str());
+    return 0;
+  }
+
+  apps::Tool tool = apps::Tool::kHome;
+  const std::string tool_name = flags.get("tool", "home");
+  if (tool_name == "base") {
+    tool = apps::Tool::kBase;
+  } else if (tool_name == "home") {
+    tool = apps::Tool::kHome;
+  } else if (tool_name == "marmot") {
+    tool = apps::Tool::kMarmot;
+  } else if (tool_name == "itc") {
+    tool = apps::Tool::kItc;
+  } else {
+    std::fprintf(stderr, "unknown --tool=%s (base|home|marmot|itc)\n",
+                 tool_name.c_str());
+    return 2;
+  }
+
+  AppChoice choice;
+  if (!make_app(flags, &choice)) return 2;
+  apps::AppKind kind = app == "bt" ? apps::AppKind::kBT
+                       : app == "sp" ? apps::AppKind::kSP
+                                     : apps::AppKind::kLU;
+  apps::AppConfig cfg = flags.get_bool("clean", false)
+                            ? apps::clean_config(kind, choice.nranks,
+                                                 choice.nthreads)
+                            : apps::paper_config(kind, choice.nranks,
+                                                 choice.nthreads);
+  const apps::ToolRunResult result = apps::run_with_tool(tool, cfg);
+  std::printf("app=%s tool=%s run=%.3fs analysis=%.3fs\n", app.c_str(),
+              apps::tool_name(tool), result.run_seconds,
+              result.analysis_seconds);
+  std::printf("%s", result.report.to_string().c_str());
+  return 0;
+}
+
+int run_explore(const util::Flags& flags, int schedules) {
+  AppChoice choice;
+  if (!make_app(flags, &choice)) return 2;
+
+  explore::SweepConfig cfg;
+  cfg.nranks = choice.nranks;
+  cfg.nthreads = choice.nthreads;
+  cfg.schedules = schedules;
+  cfg.base_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed-base", 1));
+  cfg.schedule_dir = flags.get("schedule-dir", "");
+  if (!explore::parse_strategy_kind(flags.get("strategy", "random"),
+                                    &cfg.strategy)) {
+    std::fprintf(stderr,
+                 "unknown --strategy (none|random|pct|delay|wildcard)\n");
+    return 2;
+  }
+
+  const explore::SweepResult result =
+      explore::Sweeper(cfg).run(choice.rank_main);
+  std::printf("%s", result.to_string().c_str());
+  for (const std::string& err : result.run_errors) {
+    std::fprintf(stderr, "run error: %s\n", err.c_str());
+  }
+  return 0;
+}
+
+int run_replay(const util::Flags& flags, const std::string& path) {
+  AppChoice choice;
+  if (!make_app(flags, &choice)) return 2;
+
+  explore::Schedule schedule;
+  if (!explore::Schedule::load(path, &schedule)) {
+    std::fprintf(stderr, "cannot load schedule %s\n", path.c_str());
+    return 2;
+  }
+  explore::SweepConfig cfg;
+  cfg.nranks = choice.nranks;
+  cfg.nthreads = choice.nthreads;
+  const std::set<std::string> keys =
+      explore::Sweeper(cfg).replay(schedule, choice.rank_main);
+  std::printf("replayed %s (%zu decision(s), strategy %s, seed %llu): %zu "
+              "violation(s)\n",
+              path.c_str(), schedule.decisions.size(),
+              schedule.strategy.c_str(),
+              static_cast<unsigned long long>(schedule.seed), keys.size());
+  for (const std::string& key : keys) std::printf("  %s\n", key.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const std::string replay = flags.get("replay", "");
+  if (!replay.empty()) return run_replay(flags, replay);
+  const int schedules = flags.get_int("explore", 0);
+  if (schedules > 0) return run_explore(flags, schedules);
+  return run_single(flags);
+}

@@ -1,0 +1,104 @@
+#include "src/apps/hidden_race.hpp"
+
+#include "src/homp/runtime.hpp"
+
+namespace home::apps {
+namespace {
+
+using simmpi::Datatype;
+using simmpi::kAnySource;
+using simmpi::kCommWorld;
+using simmpi::Process;
+using simmpi::Status;
+
+constexpr int kDataTag = 7;      ///< the racing payloads (both senders).
+constexpr int kRelayTag = 8;     ///< rank 1 -> rank 2 ordering token.
+constexpr int kGoTag = 100;      ///< rank 2 -> rank 0 "both queued" token.
+constexpr int kDecisionTag = 5;  ///< rank 0 announces the matched source.
+constexpr int kRacyTag = 9;      ///< payloads for the hidden racy branch.
+
+int run_rank0(Process& p) {
+  int token = 0;
+  p.recv(&token, 1, Datatype::kInt, 2, kGoTag, kCommWorld, nullptr,
+         {"hidden.go_recv"});
+
+  // Both tag-7 messages are in the unexpected queue now, rank 1's first:
+  // rank 1 sent before relaying, rank 2 sent before the go token, and eager
+  // sends deliver synchronously. Without exploration this wildcard always
+  // matches rank 1; a kWildcardPick decision can choose rank 2 instead.
+  Status st;
+  int data = 0;
+  p.recv(&data, 1, Datatype::kInt, kAnySource, kDataTag, kCommWorld, &st,
+         {"hidden.pick"});
+  const int picked = st.source;
+  const int other = picked == 1 ? 2 : 1;
+  p.recv(&data, 1, Datatype::kInt, other, kDataTag, kCommWorld, nullptr,
+         {"hidden.drain"});
+
+  for (int r = 1; r <= 2; ++r) {
+    p.send(&picked, 1, Datatype::kInt, r, kDecisionTag, kCommWorld,
+           {"hidden.decide"});
+  }
+
+  if (picked == 2) {
+    // The hidden branch: two team threads receive the same (src, tag)
+    // pattern concurrently — the V3 thread-safety violation.
+    homp::parallel(2, [&] {
+      int v = 0;
+      p.recv(&v, 1, Datatype::kInt, 1, kRacyTag, kCommWorld, nullptr,
+             {"hidden.racy_recv"});
+    });
+  }
+  return picked;
+}
+
+int run_rank1(Process& p) {
+  int payload = 1;
+  p.send(&payload, 1, Datatype::kInt, 0, kDataTag, kCommWorld,
+         {"hidden.data1"});
+  p.send(&payload, 1, Datatype::kInt, 2, kRelayTag, kCommWorld,
+         {"hidden.relay"});
+  int decision = 0;
+  p.recv(&decision, 1, Datatype::kInt, 0, kDecisionTag, kCommWorld, nullptr,
+         {"hidden.decision1"});
+  if (decision == 2) {
+    for (int i = 0; i < 2; ++i) {
+      p.send(&payload, 1, Datatype::kInt, 0, kRacyTag, kCommWorld,
+             {"hidden.racy_send"});
+    }
+  }
+  return decision;
+}
+
+int run_rank2(Process& p) {
+  int token = 0;
+  p.recv(&token, 1, Datatype::kInt, 1, kRelayTag, kCommWorld, nullptr,
+         {"hidden.relay_recv"});
+  int payload = 2;
+  p.send(&payload, 1, Datatype::kInt, 0, kDataTag, kCommWorld,
+         {"hidden.data2"});
+  p.send(&payload, 1, Datatype::kInt, 0, kGoTag, kCommWorld, {"hidden.go"});
+  int decision = 0;
+  p.recv(&decision, 1, Datatype::kInt, 0, kDecisionTag, kCommWorld, nullptr,
+         {"hidden.decision2"});
+  return decision;
+}
+
+}  // namespace
+
+int run_hidden_race_rank(Process& p) {
+  // MULTIPLE so the only violation in the program is the hidden V3 —
+  // concurrent same-pattern receives are unsafe at any thread level.
+  p.init_thread(simmpi::ThreadLevel::kMultiple, {"hidden.init"});
+  int picked = 0;
+  switch (p.rank()) {
+    case 0: picked = run_rank0(p); break;
+    case 1: picked = run_rank1(p); break;
+    case 2: picked = run_rank2(p); break;
+    default: break;
+  }
+  p.finalize({"hidden.fin"});
+  return picked;
+}
+
+}  // namespace home::apps

@@ -1,0 +1,28 @@
+// A corpus program whose thread-safety violation hides behind a wildcard
+// message race: on the default schedule the violating branch is dead code,
+// and only a schedule that picks the "late" sender at the wildcard receive
+// reaches the concurrent receives (V3). Used by the exploration tests and
+// the schedule_hunter example to demonstrate that controlled scheduling
+// finds violations a single uncontrolled run cannot.
+#pragma once
+
+#include "src/simmpi/universe.hpp"
+
+namespace home::apps {
+
+/// The program is written for exactly this many ranks.
+inline constexpr int kHiddenRaceRanks = 3;
+
+/// One rank's body. Message flow:
+///   rank 1: data(tag 7) -> 0, then relay token -> 2
+///   rank 2: after the relay, data(tag 7) -> 0, then go token -> 0
+///   rank 0: after the go token both data messages are queued (eager sends
+///           deliver synchronously, the token chain orders them), so the
+///           wildcard receive on tag 7 has two eligible senders. Queue order
+///           makes rank 1 the default match; if the explorer picks rank 2,
+///           rank 0 announces it and runs two concurrent same-pattern
+///           receives in an OpenMP team — the hidden V3.
+/// Returns the source the wildcard receive matched.
+int run_hidden_race_rank(simmpi::Process& p);
+
+}  // namespace home::apps

@@ -52,8 +52,9 @@ ClockArena& ClockArena::global() {
 ClockRef ClockArena::intern(const std::uint64_t* data, std::size_t n) {
   n = normalized_size(data, n);
   const std::uint64_t h = content_hash(data, n);
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<ClockRef>& chain = table_[h];
+  Shard& shard = shard_for(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<ClockRef>& chain = shard.table[h];
   for (const ClockRef& c : chain) {
     if (same_content(*c, data, n)) {
       arena_metrics().hits.add(1);
@@ -69,24 +70,26 @@ ClockRef ClockArena::intern(const std::uint64_t* data, std::size_t n) {
 }
 
 std::size_t ClockArena::compact() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t released = 0;
   std::int64_t released_bytes = 0;
-  for (auto it = table_.begin(); it != table_.end();) {
-    std::vector<ClockRef>& chain = it->second;
-    chain.erase(std::remove_if(chain.begin(), chain.end(),
-                               [&](const ClockRef& c) {
-                                 if (c.use_count() != 1) return false;
-                                 ++released;
-                                 released_bytes +=
-                                     static_cast<std::int64_t>(c->bytes());
-                                 return true;
-                               }),
-                chain.end());
-    if (chain.empty()) {
-      it = table_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.table.begin(); it != shard.table.end();) {
+      std::vector<ClockRef>& chain = it->second;
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [&](const ClockRef& c) {
+                                   if (c.use_count() != 1) return false;
+                                   ++released;
+                                   released_bytes +=
+                                       static_cast<std::int64_t>(c->bytes());
+                                   return true;
+                                 }),
+                  chain.end());
+      if (chain.empty()) {
+        it = shard.table.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   if (released_bytes != 0) arena_metrics().bytes.add(-released_bytes);
@@ -94,17 +97,21 @@ std::size_t ClockArena::compact() {
 }
 
 std::size_t ClockArena::resident_clocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& [h, chain] : table_) n += chain.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [h, chain] : shard.table) n += chain.size();
+  }
   return n;
 }
 
 std::size_t ClockArena::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& [h, chain] : table_) {
-    for (const ClockRef& c : chain) n += c->bytes();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [h, chain] : shard.table) {
+      for (const ClockRef& c : chain) n += c->bytes();
+    }
   }
   return n;
 }

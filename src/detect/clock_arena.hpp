@@ -17,8 +17,14 @@
 //
 // Telemetry (DESIGN.md §10): `clock.arena.hits` / `clock.arena.misses`
 // (intern-table hit rate) and the `clock.arena.resident_bytes` gauge.
+//
+// Concurrency: the intern table is sharded by content hash (kShards
+// independent {mutex, table} pairs), so parallel analysis workers interning
+// different clocks contend only when they land in the same shard instead of
+// serializing on one global mutex.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -75,10 +81,23 @@ class ClockArena {
   ClockArena(const ClockArena&) = delete;
   ClockArena& operator=(const ClockArena&) = delete;
 
+  /// Number of independent intern-table shards (power of two; shard is
+  /// selected by the top bits of the content hash so it is independent of
+  /// the unordered_map's bucket choice, which uses the low bits).
+  static constexpr std::size_t kShards = 16;
+
  private:
-  mutable std::mutex mu_;
-  /// Content hash -> clocks with that hash (collision chain is a vector).
-  std::unordered_map<std::uint64_t, std::vector<ClockRef>> table_;
+  struct Shard {
+    mutable std::mutex mu;
+    /// Content hash -> clocks with that hash (collision chain is a vector).
+    std::unordered_map<std::uint64_t, std::vector<ClockRef>> table;
+  };
+
+  Shard& shard_for(std::uint64_t hash) {
+    return shards_[(hash >> 60) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace home::detect

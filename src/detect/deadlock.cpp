@@ -6,19 +6,27 @@
 
 namespace home::detect {
 
-void WaitForGraph::add_wait(int waiter, int waitee) {
-  if (waiter == waitee) {
-    edges_[waiter].insert(waitee);  // explicit self-loop (self-deadlock).
-    return;
-  }
-  edges_[waiter].insert(waitee);
+void WaitForGraph::add_wait(int waiter, int waitee, WaitStamp stamp) {
+  if (stamp.rank < 0) stamp.rank = waiter;
+  edges_[waiter][waitee] = stamp;  // self-loops record like any other edge.
 }
 
 void WaitForGraph::clear_waiter(int waiter) { edges_.erase(waiter); }
 
 std::set<int> WaitForGraph::waitees_of(int waiter) const {
   auto it = edges_.find(waiter);
-  return it == edges_.end() ? std::set<int>{} : it->second;
+  std::set<int> out;
+  if (it != edges_.end()) {
+    for (const auto& [v, stamp] : it->second) out.insert(v);
+  }
+  return out;
+}
+
+WaitStamp WaitForGraph::stamp_of(int waiter, int waitee) const {
+  auto it = edges_.find(waiter);
+  if (it == edges_.end()) return WaitStamp{};
+  auto jt = it->second.find(waitee);
+  return jt == it->second.end() ? WaitStamp{} : jt->second;
 }
 
 std::vector<std::vector<int>> WaitForGraph::find_cycles() const {
@@ -37,7 +45,7 @@ std::vector<std::vector<int>> WaitForGraph::find_cycles() const {
 
     auto it = edges_.find(v);
     if (it != edges_.end()) {
-      for (int w : it->second) {
+      for (const auto& [w, stamp] : it->second) {
         if (!index.count(w)) {
           strongconnect(w);
           lowlink[v] = std::min(lowlink[v], lowlink[w]);
@@ -69,7 +77,7 @@ std::vector<std::vector<int>> WaitForGraph::find_cycles() const {
   std::set<int> nodes;
   for (const auto& [u, vs] : edges_) {
     nodes.insert(u);
-    nodes.insert(vs.begin(), vs.end());
+    for (const auto& [v, stamp] : vs) nodes.insert(v);
   }
   for (int v : nodes) {
     if (!index.count(v)) strongconnect(v);
@@ -82,7 +90,7 @@ std::string WaitForGraph::to_string() const {
   std::ostringstream os;
   for (const auto& [u, vs] : edges_) {
     os << u << " ->";
-    for (int v : vs) os << " " << v;
+    for (const auto& [v, stamp] : vs) os << " " << v << "@e" << stamp.value;
     os << "\n";
   }
   return os.str();

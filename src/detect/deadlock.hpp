@@ -9,6 +9,7 @@
 // their destination, collectives on every other member of the communicator.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -16,15 +17,28 @@
 
 namespace home::detect {
 
+/// Epoch stamp on a wait edge — the FastTrack-style (rank, value) pair from
+/// stamp.hpp applied to blocking calls: `value` is the waiter's blocking-call
+/// epoch when the edge was recorded.  A full vector clock per edge would be
+/// O(ranks) space for information the diagnosis never uses; the scalar epoch
+/// is enough to tell which blocking call each wait belongs to and to order
+/// waits of one rank.
+struct WaitStamp {
+  int rank = -1;
+  std::uint64_t value = 0;
+};
+
 class WaitForGraph {
  public:
-  /// u blocks on v (multi-edges collapse).
-  void add_wait(int waiter, int waitee);
+  /// u blocks on v (multi-edges collapse; the stamp of the latest add wins).
+  void add_wait(int waiter, int waitee, WaitStamp stamp = {});
   /// u is no longer blocked (drops all of u's outgoing edges).
   void clear_waiter(int waiter);
 
   bool empty() const { return edges_.empty(); }
   std::set<int> waitees_of(int waiter) const;
+  /// Stamp recorded on waiter -> waitee ({-1, 0} when the edge is absent).
+  WaitStamp stamp_of(int waiter, int waitee) const;
 
   /// All elementary cycles' node sets (as strongly connected components of
   /// size > 1, plus self-loops). Deterministic order.
@@ -34,7 +48,7 @@ class WaitForGraph {
   std::string to_string() const;
 
  private:
-  std::map<int, std::set<int>> edges_;
+  std::map<int, std::map<int, WaitStamp>> edges_;
 };
 
 }  // namespace home::detect

@@ -1,0 +1,152 @@
+#include "src/explore/sweeper.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/homp/runtime.hpp"
+#include "src/obs/span.hpp"
+#include "src/util/stats.hpp"
+
+namespace home::explore {
+
+std::size_t SweepResult::new_vs_baseline() const {
+  std::size_t n = 0;
+  for (const SweepFinding& f : findings) {
+    if (!f.in_baseline) ++n;
+  }
+  return n;
+}
+
+std::string SweepResult::to_string() const {
+  std::ostringstream os;
+  os << "explore sweep: " << schedules_run << " schedule(s), "
+     << orderings.size() << " distinct ordering(s), " << findings.size()
+     << " unique violation(s) (" << baseline_keys.size() << " baseline, +"
+     << new_vs_baseline() << " exploration-only), " << hook_hits
+     << " hook hits, " << seconds << " s\n";
+  for (const SweepFinding& f : findings) {
+    os << "  " << f.key;
+    if (f.schedule_index < 0) {
+      os << "  [baseline]";
+    } else {
+      os << "  [first seen: schedule " << f.schedule_index << ", seed "
+         << f.seed << (f.in_baseline ? ", also in baseline" : "") << "]";
+    }
+    if (!f.schedule_path.empty()) os << " -> " << f.schedule_path;
+    os << "\n";
+  }
+  os << "  coverage curve (cumulative unique violations):";
+  for (std::size_t c : coverage_curve) os << " " << c;
+  os << "\n";
+  return os.str();
+}
+
+Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
+                                      const RankMain& rank_main) {
+  RunOutcome outcome;
+
+  SessionConfig scfg = cfg_.session;
+  scfg.explore = opts;
+  Session session(scfg);
+
+  simmpi::UniverseConfig ucfg;
+  ucfg.nranks = cfg_.nranks;
+  ucfg.max_thread_level = cfg_.max_thread_level;
+  ucfg.rendezvous_sends = cfg_.rendezvous_sends;
+  ucfg.block_timeout_ms = cfg_.block_timeout_ms;
+  session.configure(ucfg);
+
+  simmpi::Universe universe(ucfg);
+  session.attach(universe);
+  homp::set_default_threads(cfg_.nthreads);
+  const simmpi::RunResult run = universe.run(rank_main);
+  session.detach(universe);
+  outcome.errors = run.errors;
+
+  const Report report = session.analyze();
+  for (const spec::Violation& v : report.violations()) {
+    outcome.keys.insert(spec::violation_key(v));
+  }
+  if (session.explorer() != nullptr) {
+    outcome.schedule = session.recorded_schedule();
+    outcome.signature = session.explorer()->order_signature();
+    outcome.hook_hits = session.explorer()->hook_hits();
+  }
+  return outcome;
+}
+
+SweepResult Sweeper::run(const RankMain& rank_main) {
+  obs::Span span("explore.sweep");
+  util::Stopwatch timer;
+  SweepResult result;
+  std::set<std::string> seen;
+
+  auto note_run = [&](const RunOutcome& outcome, int index,
+                      std::uint64_t seed) {
+    ++result.schedules_run;
+    result.hook_hits += outcome.hook_hits;
+    if (outcome.signature != 0) result.orderings.insert(outcome.signature);
+    for (const std::string& err : outcome.errors) {
+      result.run_errors.push_back("schedule " + std::to_string(index) + ": " +
+                                  err);
+    }
+    for (const std::string& key : outcome.keys) {
+      if (!seen.insert(key).second) continue;
+      SweepFinding f;
+      f.key = key;
+      f.seed = seed;
+      f.schedule_index = index;
+      f.in_baseline = index < 0;
+      if (index >= 0) {
+        f.schedule = outcome.schedule;
+        if (!cfg_.schedule_dir.empty()) {
+          f.schedule_path = cfg_.schedule_dir + "/seed" + std::to_string(seed) +
+                            ".schedule";
+          if (!f.schedule.save(f.schedule_path)) f.schedule_path.clear();
+        }
+      }
+      result.findings.push_back(std::move(f));
+    }
+    result.coverage_curve.push_back(seen.size());
+  };
+
+  if (cfg_.run_baseline) {
+    Options off;
+    off.enabled = false;
+    const RunOutcome baseline = run_once(off, rank_main);
+    result.baseline_keys = baseline.keys;
+    note_run(baseline, -1, 0);
+  }
+
+  for (int i = 0; i < cfg_.schedules; ++i) {
+    Options opts;
+    opts.enabled = true;
+    opts.strategy = cfg_.strategy;
+    opts.seed = cfg_.base_seed + static_cast<std::uint64_t>(i);
+    opts.tuning = cfg_.tuning;
+    const RunOutcome outcome = run_once(opts, rank_main);
+    note_run(outcome, i, opts.seed);
+  }
+
+  // Flag findings the baseline also reported (first seen by a schedule but
+  // not exploration-exclusive).
+  for (SweepFinding& f : result.findings) {
+    if (f.schedule_index >= 0 && result.baseline_keys.count(f.key) > 0) {
+      f.in_baseline = true;
+    }
+  }
+
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+std::set<std::string> Sweeper::replay(const Schedule& schedule,
+                                      const RankMain& rank_main) {
+  Options opts;
+  opts.enabled = true;
+  opts.seed = schedule.seed;
+  opts.replay = std::make_shared<Schedule>(schedule);
+  return run_once(opts, rank_main).keys;
+}
+
+}  // namespace home::explore

@@ -1,0 +1,100 @@
+// Sweep driver (ISSUE-7 tentpole): run N seeded schedules of a hybrid app
+// under HOME, aggregate unique violation keys with their first-seen seed and
+// replayable schedule, and report interleaving coverage.
+//
+// The Sweeper is the concurrency-testing front door: `toolrun --explore N`
+// and `examples/schedule_hunter` both drive it.  Every schedule is one full
+// Session run (controlled by a seeded Strategy); any schedule that surfaces
+// a violation key the baseline run missed yields a decision log that
+// replays the finding deterministically (Sweeper::replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/explore/hooks.hpp"
+#include "src/explore/strategy.hpp"
+#include "src/home/session.hpp"
+#include "src/simmpi/universe.hpp"
+
+namespace home::explore {
+
+struct SweepConfig {
+  int nranks = 2;
+  int nthreads = 2;
+  int schedules = 16;               ///< controlled runs (excl. the baseline).
+  std::uint64_t base_seed = 1;      ///< schedule i uses seed base_seed + i.
+  StrategyKind strategy = StrategyKind::kRandomWalk;
+  StrategyTuning tuning;
+  /// Detection knobs reused for every run (explore fields are overwritten).
+  SessionConfig session;
+  /// Run one uncontrolled schedule first, as the single-run baseline the
+  /// sweep is compared against.
+  bool run_baseline = true;
+  /// When nonempty, the first-seen schedule of every new violation is saved
+  /// as <dir>/seed<seed>.schedule (directory must exist).
+  std::string schedule_dir;
+  // Forwarded simmpi knobs.
+  simmpi::ThreadLevel max_thread_level = simmpi::ThreadLevel::kMultiple;
+  bool rendezvous_sends = false;
+  int block_timeout_ms = 10000;
+};
+
+/// One unique violation key and the earliest schedule that produced it.
+struct SweepFinding {
+  std::string key;
+  std::uint64_t seed = 0;
+  int schedule_index = -1;     ///< -1 = found by the uncontrolled baseline.
+  Schedule schedule;           ///< empty for baseline findings.
+  std::string schedule_path;   ///< set when saved to schedule_dir.
+  bool in_baseline = false;    ///< also reported by the uncontrolled run.
+};
+
+struct SweepResult {
+  int schedules_run = 0;
+  std::set<std::string> baseline_keys;
+  std::vector<SweepFinding> findings;       ///< unique keys, first-seen order.
+  /// findings-vs-schedules curve: cumulative unique keys after schedule i
+  /// (index 0 = after the baseline when run_baseline, else after schedule 0).
+  std::vector<std::size_t> coverage_curve;
+  std::set<std::uint64_t> orderings;        ///< distinct sync-point orderings.
+  std::uint64_t hook_hits = 0;              ///< total hook hits, all runs.
+  double seconds = 0.0;
+  std::vector<std::string> run_errors;      ///< rank failures, per schedule.
+
+  /// Keys the sweep found that the baseline run did not.
+  std::size_t new_vs_baseline() const;
+  std::string to_string() const;
+};
+
+class Sweeper {
+ public:
+  using RankMain = std::function<void(simmpi::Process&)>;
+
+  explicit Sweeper(SweepConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// The full sweep: baseline + cfg.schedules controlled runs.
+  SweepResult run(const RankMain& rank_main);
+
+  /// Replay one recorded schedule; returns the run's violation key set.
+  std::set<std::string> replay(const Schedule& schedule,
+                               const RankMain& rank_main);
+
+ private:
+  struct RunOutcome {
+    std::set<std::string> keys;
+    Schedule schedule;
+    std::uint64_t signature = 0;
+    std::uint64_t hook_hits = 0;
+    std::vector<std::string> errors;
+  };
+
+  RunOutcome run_once(const Options& opts, const RankMain& rank_main);
+
+  SweepConfig cfg_;
+};
+
+}  // namespace home::explore

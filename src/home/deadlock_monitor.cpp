@@ -7,16 +7,19 @@ namespace home {
 void DeadlockMonitor::on_call_begin(const simmpi::CallDesc& desc) {
   using trace::MpiCallType;
   std::lock_guard<std::mutex> lock(mu_);
+  // Every edge of this blocking call carries the waiter's current epoch —
+  // the scalar stamp that ties a wait to one specific blocking call.
+  const detect::WaitStamp stamp{desc.rank, epochs_[desc.rank]};
   switch (desc.type) {
     case MpiCallType::kRecv:
     case MpiCallType::kProbe:
       // Blocked on the (comm-local, here == world for COMM_WORLD) source;
       // a wildcard source waits on everyone else.
       if (desc.peer >= 0) {
-        graph_.add_wait(desc.rank, desc.peer);
+        graph_.add_wait(desc.rank, desc.peer, stamp);
       } else {
         for (int r = 0; r < nranks_; ++r) {
-          if (r != desc.rank) graph_.add_wait(desc.rank, r);
+          if (r != desc.rank) graph_.add_wait(desc.rank, r, stamp);
         }
       }
       break;
@@ -30,14 +33,14 @@ void DeadlockMonitor::on_call_begin(const simmpi::CallDesc& desc) {
     case MpiCallType::kScan:
     case MpiCallType::kReduceScatter:
       for (int r = 0; r < nranks_; ++r) {
-        if (r != desc.rank) graph_.add_wait(desc.rank, r);
+        if (r != desc.rank) graph_.add_wait(desc.rank, r, stamp);
       }
       break;
     case MpiCallType::kSend:
       // Only rendezvous/synchronous sends block on the receiver; the monitor
       // is conservative and records the edge — a completed eager send removes
       // it again instantly in on_call_end.
-      if (desc.peer >= 0) graph_.add_wait(desc.rank, desc.peer);
+      if (desc.peer >= 0) graph_.add_wait(desc.rank, desc.peer, stamp);
       break;
     default:
       break;
@@ -47,6 +50,13 @@ void DeadlockMonitor::on_call_begin(const simmpi::CallDesc& desc) {
 void DeadlockMonitor::on_call_end(const simmpi::CallDesc& desc) {
   std::lock_guard<std::mutex> lock(mu_);
   graph_.clear_waiter(desc.rank);
+  ++epochs_[desc.rank];  // the next blocking call is a new epoch.
+}
+
+std::uint64_t DeadlockMonitor::epoch_of(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = epochs_.find(rank);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 std::vector<std::vector<int>> DeadlockMonitor::cycles() const {
@@ -55,7 +65,8 @@ std::vector<std::vector<int>> DeadlockMonitor::cycles() const {
 }
 
 std::string DeadlockMonitor::diagnose() const {
-  const auto found = cycles();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = graph_.find_cycles();
   if (found.empty()) return "no wait cycle observed";
   std::ostringstream os;
   os << found.size() << " wait cycle(s) detected:";
@@ -64,6 +75,10 @@ std::string DeadlockMonitor::diagnose() const {
     for (std::size_t i = 0; i < cycle.size(); ++i) {
       if (i) os << ", ";
       os << "rank " << cycle[i];
+      // The epoch the blocking call carries tells *which* call is stuck.
+      const int next = cycle[(i + 1) % cycle.size()];
+      const detect::WaitStamp stamp = graph_.stamp_of(cycle[i], next);
+      if (stamp.rank >= 0) os << " (epoch " << stamp.value << ")";
     }
     os << "}";
   }

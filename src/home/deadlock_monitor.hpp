@@ -4,6 +4,8 @@
 // dynamic graph-based deadlock detection the paper cites for MPI tools.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -25,13 +27,22 @@ class DeadlockMonitor : public simmpi::MpiHooks {
   /// deadlock observed right now).
   std::vector<std::vector<int>> cycles() const;
 
-  /// Human-readable diagnosis ("ranks 0, 1 wait on each other ...").
+  /// Human-readable diagnosis ("ranks 0, 1 wait on each other ...")
+  /// including each waiter's blocking-call epoch, so a hang report names
+  /// which blocking call of each rank formed the cycle.
   std::string diagnose() const;
+
+  /// The rank's current blocking-call epoch (how many of its blocking calls
+  /// have completed) — the scalar the wait edges are stamped with.
+  std::uint64_t epoch_of(int rank) const;
 
  private:
   int nranks_;
   mutable std::mutex mu_;
   detect::WaitForGraph graph_;
+  /// Per-rank epoch counters (FastTrack-style scalar stamps instead of a
+  /// vector clock per edge); bumped when a blocking call completes.
+  std::map<int, std::uint64_t> epochs_;
 };
 
 }  // namespace home

@@ -31,7 +31,10 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 Session::~Session() {
-  if (attached_) homp::clear_instrumentation();
+  if (attached_) {
+    homp::clear_instrumentation();
+    explore::uninstall();
+  }
   // Unsubscribe before the analyzer (declared after log_) is destroyed.
   log_.set_sink(nullptr);
 }
@@ -59,13 +62,33 @@ void Session::configure(simmpi::UniverseConfig& ucfg) {
 void Session::attach(simmpi::Universe& universe) {
   universe.hooks().add(wrappers_.get());
   homp::install_instrumentation(homp::Instrumentation{&log_, &registry_});
+  if (cfg_.explore.enabled && !explorer_) {
+    // Replay takes precedence over a generating strategy: the recorded
+    // decisions are re-applied and everything else stays default.
+    std::unique_ptr<explore::Strategy> strategy =
+        cfg_.explore.replay
+            ? explore::make_replay_strategy(*cfg_.explore.replay)
+            : explore::make_strategy(cfg_.explore.strategy, cfg_.explore.seed,
+                                     cfg_.explore.tuning);
+    explorer_ = std::make_unique<explore::Explorer>(std::move(strategy));
+  }
+  if (explorer_) explore::install(explorer_.get());
   attached_ = true;
 }
 
 void Session::detach(simmpi::Universe& universe) {
   universe.hooks().remove(wrappers_.get());
   homp::clear_instrumentation();
+  explore::uninstall();
   attached_ = false;
+}
+
+explore::Schedule Session::recorded_schedule() const {
+  if (!explorer_) return explore::Schedule{};
+  explore::Schedule schedule = explorer_->schedule();
+  schedule.strategy = explorer_->strategy().name();
+  schedule.seed = cfg_.explore.seed;
+  return schedule;
 }
 
 void Session::save_trace(const std::string& path) const {

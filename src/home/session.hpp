@@ -17,6 +17,8 @@
 #include <memory>
 
 #include "src/detect/race_detector.hpp"
+#include "src/explore/hooks.hpp"
+#include "src/explore/strategy.hpp"
 #include "src/home/report.hpp"
 #include "src/home/wrappers.hpp"
 #include "src/online/online_analyzer.hpp"
@@ -76,6 +78,9 @@ struct SessionConfig {
   /// Post-mortem (default) or streaming detection during the run.
   AnalysisMode mode = AnalysisMode::kPostMortem;
   OnlineOptions online;
+  /// Controlled scheduling: strategy-driven delays and matching picks at the
+  /// runtime hook points, recorded as a replayable schedule (off by default).
+  explore::Options explore;
 };
 
 /// The detector knobs a SessionConfig implies (shared by the live and the
@@ -110,6 +115,14 @@ class Session {
   /// The streaming engine (null in post-mortem mode or before configure()).
   online::OnlineAnalyzer* online_analyzer() { return analyzer_.get(); }
 
+  /// The schedule explorer (null unless config().explore.enabled; live from
+  /// attach() until the Session dies — decisions survive detach()).
+  explore::Explorer* explorer() { return explorer_.get(); }
+
+  /// The decision log recorded so far, stamped with the strategy/seed from
+  /// the config (empty Schedule when exploration is off).
+  explore::Schedule recorded_schedule() const;
+
   /// Persist this session's execution log for later offline analysis.
   void save_trace(const std::string& path) const;
 
@@ -137,6 +150,7 @@ class Session {
   /// Declared after log_ so it is destroyed first (it joins its analysis
   /// thread while the log it subscribes to is still alive).
   std::unique_ptr<online::OnlineAnalyzer> analyzer_;
+  std::unique_ptr<explore::Explorer> explorer_;
   Reconciliation reconciliation_;
   bool attached_ = false;
 };

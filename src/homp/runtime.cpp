@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/explore/hooks.hpp"
 #include "src/homp/team.hpp"
 #include "src/obs/span.hpp"
 #include "src/simmpi/universe.hpp"
@@ -77,6 +78,11 @@ void emit_plain(trace::EventKind kind, trace::ObjId obj, std::uint64_t aux) {
 
 void team_barrier(Team* team) {
   if (!team) return;
+  if (explore::active()) {
+    simmpi::Process* process = simmpi::Universe::current();
+    explore::yield_point(explore::HookKind::kBarrier,
+                         process ? process->rank() : -1, "homp.barrier");
+  }
   const std::uint64_t my_gen = team->begin_barrier();
   // The arrival event must be stamped before any participant can be released,
   // so the HB replay sees every arrival before any post-barrier event —
@@ -129,12 +135,16 @@ void parallel(int nthreads, const std::function<void()>& body) {
       }
       simmpi::Universe::set_current(process);  // inherit the rank context.
       tls_stack.push_back(ThreadCtx{&team, i, 0});
+      const int prev_lane = explore::internal::set_thread_lane(i);
+      explore::internal::enter_parallel();
       try {
         body();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      explore::internal::exit_parallel();
+      explore::internal::set_thread_lane(prev_lane);
       tls_stack.pop_back();
       simmpi::Universe::set_current(nullptr);
     });
@@ -142,12 +152,16 @@ void parallel(int nthreads, const std::function<void()>& body) {
 
   // The calling thread is thread 0 (the OpenMP master).
   tls_stack.push_back(ThreadCtx{&team, 0, 0});
+  const int prev_lane = explore::internal::set_thread_lane(0);
+  explore::internal::enter_parallel();
   try {
     body();
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mu);
     if (!first_error) first_error = std::current_exception();
   }
+  explore::internal::exit_parallel();
+  explore::internal::set_thread_lane(prev_lane);
   tls_stack.pop_back();
 
   for (auto& w : workers) w.join();

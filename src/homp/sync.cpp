@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "src/explore/hooks.hpp"
 #include "src/homp/runtime.hpp"
 #include "src/simmpi/universe.hpp"
 
@@ -36,6 +37,11 @@ std::vector<trace::ObjId> current_locks() { return tls_locks; }
 Lock::Lock() : id_(g_lock_counter.fetch_add(1)) {}
 
 void Lock::lock() {
+  if (explore::active()) {
+    const simmpi::Process* process = simmpi::Universe::current();
+    explore::yield_point(explore::HookKind::kLockAcquire,
+                         process ? process->rank() : -1, "homp.lock");
+  }
   mu_.lock();
   internal::note_acquired(id_);
   if (instrumentation().log) {
@@ -105,6 +111,11 @@ Lock& critical_lock(const std::string& name) {
 }
 
 void critical(const std::string& name, const std::function<void()>& body) {
+  if (explore::active()) {
+    const simmpi::Process* process = simmpi::Universe::current();
+    explore::yield_point(explore::HookKind::kCritical,
+                         process ? process->rank() : -1, name.c_str());
+  }
   LockGuard guard(critical_lock(name));
   body();
 }

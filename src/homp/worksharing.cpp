@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/explore/hooks.hpp"
 #include "src/homp/runtime.hpp"
 #include "src/homp/team.hpp"
+#include "src/simmpi/universe.hpp"
 
 namespace home::homp {
+namespace {
+
+// Perturb the race for the next chunk of a dynamic construct: which thread's
+// fetch_add wins decides the iteration-to-thread mapping.
+void chunk_claim_yield(const char* site) {
+  if (!explore::active()) return;
+  const simmpi::Process* process = simmpi::Universe::current();
+  explore::yield_point(explore::HookKind::kChunkClaim,
+                       process ? process->rank() : -1, site);
+}
+
+}  // namespace
 
 void for_range(int begin, int end, const std::function<void(int)>& body,
                const ForOpts& opts) {
@@ -43,6 +57,7 @@ void for_range(int begin, int end, const std::function<void(int)>& body,
     const int chunk = opts.chunk > 0 ? opts.chunk : 1;
     auto& state = team->construct(internal::next_construct_index());
     for (;;) {
+      chunk_claim_yield("homp.for_dynamic");
       const int k = state.counter.fetch_add(1);
       const int chunk_start = begin + k * chunk;
       if (chunk_start >= end) break;
@@ -67,6 +82,7 @@ void sections(const std::vector<std::function<void()>>& bodies, bool nowait) {
   }
   auto& state = team->construct(internal::next_construct_index());
   for (;;) {
+    chunk_claim_yield("homp.sections");
     const int k = state.counter.fetch_add(1);
     if (k >= static_cast<int>(bodies.size())) break;
     bodies[static_cast<std::size_t>(k)]();
@@ -82,6 +98,7 @@ void single(const std::function<void()>& body, bool nowait) {
     return;
   }
   auto& state = team->construct(internal::next_construct_index());
+  chunk_claim_yield("homp.single");
   if (state.counter.fetch_add(1) == 0) body();
   if (!nowait) internal::team_barrier(team);
 }

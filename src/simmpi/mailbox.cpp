@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <vector>
+
+#include "src/explore/hooks.hpp"
 
 namespace home::simmpi {
 
@@ -37,17 +40,37 @@ void Mailbox::complete_recv(RequestState& recv, Envelope& msg) {
 
 void Mailbox::deliver(Envelope msg) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Candidate receives: the first posted receive of each distinct
+  // (match_src, match_tag) pattern that matches this envelope. Within one
+  // pattern MPI mandates posted order, so later same-pattern receives are
+  // never candidates; across patterns real MPI may complete either, which
+  // is the nondeterminism the explorer steers.
+  std::vector<std::deque<std::shared_ptr<RequestState>>::iterator> eligible;
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     RequestState& recv = **it;
-    if (matches(msg, recv.match_src, recv.match_tag, recv.match_comm)) {
-      // Exact-match criteria are stored on the request, so re-check against
-      // the *request's* pattern (wildcards live on the receive side).
-      auto matched = *it;
-      posted_.erase(it);
-      lock.unlock();
-      complete_recv(*matched, msg);
-      return;
+    if (!matches(msg, recv.match_src, recv.match_tag, recv.match_comm)) {
+      continue;
     }
+    bool pattern_seen = false;
+    for (const auto& prior : eligible) {
+      if ((*prior)->match_src == recv.match_src &&
+          (*prior)->match_tag == recv.match_tag) {
+        pattern_seen = true;
+        break;
+      }
+    }
+    if (!pattern_seen) eligible.push_back(it);
+    if (!explore::active()) break;  // default: first posted match wins.
+  }
+  if (!eligible.empty()) {
+    const std::size_t choice = explore::pick_point(
+        explore::HookKind::kRecvMatch, owner_rank_, "mailbox.match",
+        eligible.size());
+    auto matched = *eligible[choice];
+    posted_.erase(eligible[choice]);
+    lock.unlock();
+    complete_recv(*matched, msg);
+    return;
   }
   unexpected_.push_back(std::move(msg));
   cv_.notify_all();
@@ -55,14 +78,34 @@ void Mailbox::deliver(Envelope msg) {
 
 void Mailbox::post_recv(const std::shared_ptr<RequestState>& recv) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Candidate messages: the oldest queued match from each distinct source.
+  // Same-source messages must match in arrival order (non-overtaking), but
+  // a wildcard-source receive may legally take whichever sender's message
+  // "arrived first" — the pick the explorer controls.
+  std::vector<std::deque<Envelope>::iterator> eligible;
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (matches(*it, recv->match_src, recv->match_tag, recv->match_comm)) {
-      Envelope msg = std::move(*it);
-      unexpected_.erase(it);
-      lock.unlock();
-      complete_recv(*recv, msg);
-      return;
+    if (!matches(*it, recv->match_src, recv->match_tag, recv->match_comm)) {
+      continue;
     }
+    bool source_seen = false;
+    for (const auto& prior : eligible) {
+      if (prior->src == it->src) {
+        source_seen = true;
+        break;
+      }
+    }
+    if (!source_seen) eligible.push_back(it);
+    if (recv->match_src != kAnySource || !explore::active()) break;
+  }
+  if (!eligible.empty()) {
+    const std::size_t choice = explore::pick_point(
+        explore::HookKind::kWildcardPick, owner_rank_, "mailbox.wildcard",
+        eligible.size());
+    Envelope msg = std::move(*eligible[choice]);
+    unexpected_.erase(eligible[choice]);
+    lock.unlock();
+    complete_recv(*recv, msg);
+    return;
   }
   posted_.push_back(recv);
 }

@@ -20,6 +20,7 @@ Universe::Universe(UniverseConfig cfg) : cfg_(cfg) {
   std::vector<int> world;
   for (int r = 0; r < cfg_.nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.back()->set_owner_rank(r);
     world.push_back(r);
   }
   comms_.create_with_id(kCommWorld.id, world);

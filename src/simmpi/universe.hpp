@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/explore/hooks.hpp"
 #include "src/simmpi/comm.hpp"
 #include "src/simmpi/hooks.hpp"
 #include "src/simmpi/mailbox.hpp"
@@ -226,8 +227,40 @@ class Universe {
   HookRegistry hooks_;
 };
 
+/// Exploration hook kind for an MPI entry point: blocking/matching calls get
+/// their own kinds so strategies can target them (DESIGN.md §11 inventory).
+inline explore::HookKind explore_kind_for(trace::MpiCallType type) {
+  switch (type) {
+    case trace::MpiCallType::kWait:
+    case trace::MpiCallType::kTest:
+      return explore::HookKind::kWaitTest;
+    case trace::MpiCallType::kProbe:
+    case trace::MpiCallType::kIprobe:
+      return explore::HookKind::kProbe;
+    case trace::MpiCallType::kBarrier:
+    case trace::MpiCallType::kBcast:
+    case trace::MpiCallType::kReduce:
+    case trace::MpiCallType::kAllreduce:
+    case trace::MpiCallType::kGather:
+    case trace::MpiCallType::kScatter:
+    case trace::MpiCallType::kAlltoall:
+    case trace::MpiCallType::kScan:
+    case trace::MpiCallType::kReduceScatter:
+      return explore::HookKind::kCollectiveArrive;
+    default:
+      return explore::HookKind::kMpiCall;
+  }
+}
+
 template <typename Body>
 auto Process::hooked(CallDesc desc, Body&& body) {
+  // Yield hook before anything happens (including the wrapper logging), so
+  // an injected delay shifts the whole call — this is the per-MPI-call
+  // choice point of the schedule explorer.  One load + branch when off.
+  explore::yield_point(explore_kind_for(desc.type), desc.rank,
+                       desc.callsite != nullptr
+                           ? desc.callsite
+                           : trace::mpi_call_type_name(desc.type));
   uni_->hooks().begin(desc);
   if constexpr (std::is_void_v<decltype(body())>) {
     body();

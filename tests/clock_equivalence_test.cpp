@@ -15,6 +15,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/apps/app.hpp"
@@ -354,6 +355,35 @@ TEST(ClockArena, CompactDropsOnlyUnreferencedClocks) {
   EXPECT_EQ(arena.resident_clocks(), 1u);
   // The survivor is still served from the table.
   EXPECT_EQ(arena.intern(a, 2).get(), keep.get());
+}
+
+TEST(ClockArena, ConcurrentInternDedupesAcrossShards) {
+  // The intern table is sharded by content hash; racing threads interning
+  // the same clocks must still converge on one canonical instance each.
+  ClockArena arena;
+  constexpr int kThreads = 8;
+  constexpr int kClocks = 64;
+  std::vector<std::vector<ClockRef>> refs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, &refs, t] {
+      for (int i = 0; i < kClocks; ++i) {
+        const std::uint64_t c[3] = {static_cast<std::uint64_t>(i),
+                                    static_cast<std::uint64_t>(i * 7 + 1),
+                                    static_cast<std::uint64_t>(i % 5)};
+        refs[static_cast<std::size_t>(t)].push_back(arena.intern(c, 3));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    for (int i = 0; i < kClocks; ++i) {
+      EXPECT_EQ(refs[0][static_cast<std::size_t>(i)].get(),
+                refs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+                    .get());
+    }
+  }
+  EXPECT_EQ(arena.resident_clocks(), static_cast<std::size_t>(kClocks));
 }
 
 TEST(ClockArena, EmptyClockInterns) {

@@ -85,6 +85,33 @@ TEST(WaitForGraph, DumpsEdges) {
   EXPECT_NE(graph.to_string().find("0 -> 1"), std::string::npos);
 }
 
+TEST(WaitForGraph, EdgesCarryEpochStamps) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1, detect::WaitStamp{0, 7});
+  EXPECT_EQ(graph.stamp_of(0, 1).rank, 0);
+  EXPECT_EQ(graph.stamp_of(0, 1).value, 7u);
+  // Default stamp: epoch 0, rank inferred from the waiter.
+  graph.add_wait(2, 3);
+  EXPECT_EQ(graph.stamp_of(2, 3).rank, 2);
+  EXPECT_EQ(graph.stamp_of(2, 3).value, 0u);
+  // Absent edge reads as the sentinel stamp.
+  EXPECT_EQ(graph.stamp_of(5, 6).rank, -1);
+  // Re-adding the edge updates the stamp (latest blocking call wins).
+  graph.add_wait(0, 1, detect::WaitStamp{0, 9});
+  EXPECT_EQ(graph.stamp_of(0, 1).value, 9u);
+  EXPECT_NE(graph.to_string().find("1@e9"), std::string::npos);
+}
+
+TEST(WaitForGraph, StampsSurviveCycleDetection) {
+  WaitForGraph graph;
+  graph.add_wait(0, 1, detect::WaitStamp{0, 3});
+  graph.add_wait(1, 0, detect::WaitStamp{1, 5});
+  auto cycles = graph.find_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(graph.stamp_of(0, 1).value, 3u);
+  EXPECT_EQ(graph.stamp_of(1, 0).value, 5u);
+}
+
 // -------------------------------------------------------- DeadlockMonitor
 
 UniverseConfig short_timeout(int nranks) {
@@ -110,6 +137,11 @@ TEST(DeadlockMonitor, DiagnosesMutualRecvDeadlock) {
   ASSERT_EQ(cycles.size(), 1u);
   EXPECT_EQ(cycles[0], (std::vector<int>{0, 1}));
   EXPECT_NE(monitor.diagnose().find("rank 0"), std::string::npos);
+  // The diagnosis names each waiter's call epoch (the scalar edge stamps):
+  // the stuck recv is each rank's very first call, so both block at epoch 0.
+  EXPECT_NE(monitor.diagnose().find("epoch 0"), std::string::npos);
+  EXPECT_EQ(monitor.epoch_of(0), 0u);
+  EXPECT_EQ(monitor.epoch_of(1), 0u);
 }
 
 TEST(DeadlockMonitor, DiagnosesRendezvousSendCycle) {
@@ -143,6 +175,10 @@ TEST(DeadlockMonitor, CleanExchangeLeavesNoCycle) {
   EXPECT_TRUE(result.ok());
   EXPECT_TRUE(monitor.cycles().empty());
   EXPECT_EQ(monitor.diagnose(), "no wait cycle observed");
+  // Each completed call advanced the rank's epoch counter (send + recv +
+  // barrier = 3 blocking-capable calls per rank).
+  EXPECT_GE(monitor.epoch_of(0), 3u);
+  EXPECT_GE(monitor.epoch_of(1), 3u);
 }
 
 TEST(DeadlockMonitor, MissingCollectiveParticipantDiagnosed) {

@@ -1,0 +1,293 @@
+// Exploration subsystem tests (ISSUE-7 acceptance):
+//  * schedules round-trip through the text format,
+//  * hooks are inert no-ops while no Explorer is installed,
+//  * strategies are deterministic in their seed and diverge across seeds,
+//  * replay feeds recorded decisions back at the recorded keys,
+//  * the hidden-race corpus app's V3 is invisible to a single uncontrolled
+//    run but found by a bounded seeded sweep, and
+//  * replaying the finding's schedule reproduces the identical violation
+//    key set, three times over.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/hidden_race.hpp"
+#include "src/explore/hooks.hpp"
+#include "src/explore/schedule.hpp"
+#include "src/explore/strategy.hpp"
+#include "src/explore/sweeper.hpp"
+
+namespace home::explore {
+namespace {
+
+const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv";
+
+Sweeper::RankMain hidden_main() {
+  return [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };
+}
+
+SweepConfig hidden_config(StrategyKind strategy, int schedules,
+                          std::uint64_t base_seed = 1) {
+  SweepConfig cfg;
+  cfg.nranks = apps::kHiddenRaceRanks;
+  cfg.nthreads = 2;
+  cfg.schedules = schedules;
+  cfg.base_seed = base_seed;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+// ----------------------------------------------------------- Schedule I/O
+
+TEST(Schedule, TextRoundtrip) {
+  Schedule s;
+  s.strategy = "random_walk";
+  s.seed = 42;
+  Decision yield;
+  yield.kind = HookKind::kBarrier;
+  yield.rank = 1;
+  yield.lane = 2;
+  yield.site = "homp.barrier";
+  yield.occurrence = 3;
+  yield.is_pick = false;
+  yield.value = 150;
+  s.decisions.push_back(yield);
+  Decision pick;
+  pick.kind = HookKind::kWildcardPick;
+  pick.rank = 0;
+  pick.lane = 0;
+  pick.site = "mailbox.wildcard";
+  pick.occurrence = 0;
+  pick.is_pick = true;
+  pick.value = 1;
+  s.decisions.push_back(pick);
+
+  Schedule parsed;
+  ASSERT_TRUE(Schedule::parse(s.to_string(), &parsed));
+  EXPECT_EQ(parsed.strategy, s.strategy);
+  EXPECT_EQ(parsed.seed, s.seed);
+  ASSERT_EQ(parsed.decisions.size(), 2u);
+  EXPECT_EQ(parsed.decisions[0].kind, HookKind::kBarrier);
+  EXPECT_EQ(parsed.decisions[0].site, "homp.barrier");
+  EXPECT_EQ(parsed.decisions[0].value, 150u);
+  EXPECT_FALSE(parsed.decisions[0].is_pick);
+  EXPECT_TRUE(parsed.decisions[1].is_pick);
+  EXPECT_EQ(parsed.decisions[1].value, 1u);
+}
+
+TEST(Schedule, FileRoundtrip) {
+  Schedule s;
+  s.strategy = "wildcard_reorder";
+  s.seed = 7;
+  Decision d;
+  d.kind = HookKind::kRecvMatch;
+  d.rank = 2;
+  d.site = "mailbox.match";
+  d.is_pick = true;
+  d.value = 1;
+  s.decisions.push_back(d);
+
+  const std::string path = "explore_test_roundtrip.schedule";
+  ASSERT_TRUE(s.save(path));
+  Schedule loaded;
+  ASSERT_TRUE(Schedule::load(path, &loaded));
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.to_string(), s.to_string());
+}
+
+TEST(Schedule, HookKindNamesRoundtrip) {
+  for (int i = 0; i < kHookKindCount; ++i) {
+    const HookKind kind = static_cast<HookKind>(i);
+    HookKind parsed;
+    ASSERT_TRUE(parse_hook_kind(hook_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  HookKind ignored;
+  EXPECT_FALSE(parse_hook_kind("no-such-kind", &ignored));
+}
+
+TEST(Strategy, KindNamesParse) {
+  StrategyKind kind;
+  ASSERT_TRUE(parse_strategy_kind("random", &kind));
+  EXPECT_EQ(kind, StrategyKind::kRandomWalk);
+  ASSERT_TRUE(parse_strategy_kind("wildcard", &kind));
+  EXPECT_EQ(kind, StrategyKind::kWildcardReorder);
+  ASSERT_TRUE(parse_strategy_kind("pct", &kind));
+  EXPECT_EQ(kind, StrategyKind::kPct);
+  EXPECT_FALSE(parse_strategy_kind("bogus", &kind));
+}
+
+// ------------------------------------------------------------------ Hooks
+
+TEST(Hooks, DisabledHooksAreInert) {
+  ASSERT_FALSE(active());
+  // No explorer installed: yields return immediately, picks take default 0.
+  yield_point(HookKind::kBarrier, 0, "test.site");
+  EXPECT_EQ(pick_point(HookKind::kWildcardPick, 0, "test.site", 5), 0u);
+  EXPECT_EQ(pick_point(HookKind::kRecvMatch, 0, "test.site", 1), 0u);
+}
+
+TEST(Hooks, ExplorerRecordsDecisionsAndOccurrences) {
+  Explorer explorer(make_replay_strategy(Schedule{}));  // all-default replay.
+  install(&explorer);
+  ASSERT_TRUE(active());
+  yield_point(HookKind::kCritical, 1, "crit");
+  yield_point(HookKind::kCritical, 1, "crit");
+  EXPECT_EQ(pick_point(HookKind::kWildcardPick, 0, "wc", 3), 0u);
+  uninstall();
+  EXPECT_FALSE(active());
+  EXPECT_EQ(explorer.hook_hits(), 3u);
+  // Default decisions (no delay, pick 0) are not recorded — the log stays
+  // minimal, holding only the perturbations.
+  EXPECT_TRUE(explorer.schedule().decisions.empty());
+  EXPECT_NE(explorer.order_signature(), 0u);
+}
+
+// ------------------------------------------------------------- Strategies
+
+std::vector<std::uint64_t> sample_decisions(Strategy& s) {
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < 32; ++i) {
+    YieldContext y;
+    y.kind = HookKind::kMpiCall;
+    y.rank = i % 3;
+    y.lane = i % 2;
+    y.site = "probe.site";
+    y.occurrence = static_cast<std::uint64_t>(i);
+    y.in_parallel = true;
+    out.push_back(s.on_yield(y));
+    PickContext p;
+    p.kind = HookKind::kWildcardPick;
+    p.rank = i % 3;
+    p.site = "pick.site";
+    p.occurrence = static_cast<std::uint64_t>(i);
+    p.n_eligible = 4;
+    out.push_back(s.on_pick(p));
+  }
+  return out;
+}
+
+TEST(Strategy, DeterministicInSeedDivergentAcrossSeeds) {
+  for (const StrategyKind kind :
+       {StrategyKind::kRandomWalk, StrategyKind::kPct,
+        StrategyKind::kDelayInjection, StrategyKind::kWildcardReorder}) {
+    const auto a1 = sample_decisions(*make_strategy(kind, 11));
+    const auto a2 = sample_decisions(*make_strategy(kind, 11));
+    EXPECT_EQ(a1, a2) << "seed 11, kind " << strategy_kind_name(kind);
+    bool any_diverges = false;
+    for (std::uint64_t seed = 12; seed < 20; ++seed) {
+      if (sample_decisions(*make_strategy(kind, seed)) != a1) {
+        any_diverges = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any_diverges)
+        << "seeds never change decisions for " << strategy_kind_name(kind);
+  }
+}
+
+TEST(Strategy, ReplayFeedsBackRecordedDecisions) {
+  Schedule s;
+  Decision d;
+  d.kind = HookKind::kWildcardPick;
+  d.rank = 0;
+  d.lane = 0;
+  d.site = "mailbox.wildcard";
+  d.occurrence = 1;
+  d.is_pick = true;
+  d.value = 2;
+  s.decisions.push_back(d);
+  auto replay = make_replay_strategy(s);
+
+  PickContext ctx;
+  ctx.kind = HookKind::kWildcardPick;
+  ctx.rank = 0;
+  ctx.lane = 0;
+  ctx.site = "mailbox.wildcard";
+  ctx.n_eligible = 3;
+  ctx.occurrence = 0;
+  EXPECT_EQ(replay->on_pick(ctx), 0u);  // unrecorded occurrence: default.
+  ctx.occurrence = 1;
+  EXPECT_EQ(replay->on_pick(ctx), 2u);  // the recorded decision.
+  ctx.n_eligible = 2;
+  EXPECT_EQ(replay->on_pick(ctx), 1u);  // clamped to the eligible range.
+}
+
+// ------------------------------------------------- Hidden-race acceptance
+
+TEST(Sweep, HiddenViolationMissedByBaselineFoundBySweep) {
+  // A single uncontrolled run never reaches the racy branch; a bounded
+  // wildcard sweep must find it (ISSUE-7 acceptance).
+  SweepConfig cfg = hidden_config(StrategyKind::kWildcardReorder, 16);
+  Sweeper sweeper(cfg);
+  const SweepResult result = sweeper.run(hidden_main());
+
+  EXPECT_TRUE(result.run_errors.empty()) << result.to_string();
+  EXPECT_TRUE(result.baseline_keys.empty())
+      << "baseline unexpectedly reached the hidden branch";
+  ASSERT_GE(result.new_vs_baseline(), 1u) << result.to_string();
+  bool found = false;
+  for (const SweepFinding& f : result.findings) {
+    if (f.key == kHiddenKey) found = true;
+  }
+  EXPECT_TRUE(found) << result.to_string();
+  // The coverage curve is monotone and ends at the total unique count.
+  for (std::size_t i = 1; i < result.coverage_curve.size(); ++i) {
+    EXPECT_GE(result.coverage_curve[i], result.coverage_curve[i - 1]);
+  }
+  EXPECT_EQ(result.coverage_curve.back(), result.findings.size());
+  // More than one distinct sync-point ordering was exercised.
+  EXPECT_GT(result.orderings.size(), 1u);
+}
+
+TEST(Sweep, ReplayReproducesExactViolationKeys) {
+  SweepConfig cfg = hidden_config(StrategyKind::kWildcardReorder, 16);
+  Sweeper sweeper(cfg);
+  const SweepResult result = sweeper.run(hidden_main());
+
+  const SweepFinding* finding = nullptr;
+  for (const SweepFinding& f : result.findings) {
+    if (f.key == kHiddenKey) finding = &f;
+  }
+  ASSERT_NE(finding, nullptr) << result.to_string();
+  ASSERT_FALSE(finding->schedule.decisions.empty());
+
+  // Byte-identical violation keys on every replay (3 repeats).
+  const std::set<std::string> first =
+      sweeper.replay(finding->schedule, hidden_main());
+  EXPECT_EQ(first.count(kHiddenKey), 1u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(sweeper.replay(finding->schedule, hidden_main()), first);
+  }
+}
+
+TEST(Sweep, FixedSeedsReproduceFindings) {
+  // Wildcard reordering makes no timing decisions, so the whole sweep is a
+  // deterministic function of (strategy, base_seed).
+  SweepConfig cfg = hidden_config(StrategyKind::kWildcardReorder, 8);
+  const SweepResult a = Sweeper(cfg).run(hidden_main());
+  const SweepResult b = Sweeper(cfg).run(hidden_main());
+  std::set<std::string> keys_a, keys_b;
+  for (const SweepFinding& f : a.findings) keys_a.insert(f.key);
+  for (const SweepFinding& f : b.findings) keys_b.insert(f.key);
+  EXPECT_EQ(keys_a, keys_b);
+  EXPECT_EQ(a.coverage_curve, b.coverage_curve);
+}
+
+TEST(Sweep, RandomWalkAlsoFindsHiddenViolation) {
+  // The acceptance corpus app must be reachable by the generic random walk
+  // within a bounded seed budget, not just the wildcard specialist.
+  SweepConfig cfg = hidden_config(StrategyKind::kRandomWalk, 24);
+  const SweepResult result = Sweeper(cfg).run(hidden_main());
+  bool found = false;
+  for (const SweepFinding& f : result.findings) {
+    if (f.key == kHiddenKey) found = true;
+  }
+  EXPECT_TRUE(found) << result.to_string();
+}
+
+}  // namespace
+}  // namespace home::explore
