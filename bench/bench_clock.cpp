@@ -289,6 +289,33 @@ double engine_rows(const Output& out, int threads, int vars,
   return speedup;
 }
 
+/// Post-mortem HbIndex stamp store (ROADMAP clock follow-on (c)): frames
+/// (stamps with the own component zeroed) are interned in the ClockArena, so
+/// a thread's event run between sync edges shares one allocation.  The
+/// workload has compute-bound phases (many accesses per thread per barrier),
+/// the regime real programs live in; hb_dense_stamp_bytes is what the same
+/// stamps cost as private full clocks.  Returns dense/interned.
+double hb_index_row(const Output& out, int threads) {
+  const std::vector<trace::Event> events =
+      bench::phased_trace(/*events_per_var=*/16, threads,
+                          /*vars=*/threads * 32);
+  const detect::HbIndex hb =
+      detect::HappensBeforeAnalysis().run(std::vector<trace::Event>(events));
+  const std::size_t interned = hb.stamp_bytes();
+  const std::size_t dense = hb.dense_stamp_bytes();
+  const double ratio = interned > 0 ? static_cast<double>(dense) /
+                                          static_cast<double>(interned)
+                                    : 0.0;
+  bench::JsonRow row("clock_hb_index");
+  row.field("threads", threads)
+      .field("events", events.size())
+      .field("hb_dense_stamp_bytes", dense)
+      .field("hb_clock_bytes", interned)
+      .field("bytes_ratio", ratio);
+  out.emit(row);
+  return ratio;
+}
+
 int smoke(const Output& out) {
   // Small but still 64-wide: the acceptance shape at CI-friendly size.
   bool verdicts_equal = false;
@@ -317,9 +344,18 @@ int smoke(const Output& out) {
                  epoch_bytes, vector_bytes);
     return 1;
   }
+  const double hb_ratio = hb_index_row(out, /*threads=*/16);
+  if (hb_ratio < 2.0) {
+    std::fprintf(stderr,
+                 "smoke: interned HbIndex stamps not 2x smaller than dense "
+                 "(%.2fx)\n",
+                 hb_ratio);
+    return 1;
+  }
   std::printf(
-      "bench_clock --smoke: OK (sweep %.2fx, resident %zu vs %zu bytes)\n",
-      speedup, epoch_bytes, vector_bytes);
+      "bench_clock --smoke: OK (sweep %.2fx, resident %zu vs %zu bytes, "
+      "hb index %.1fx smaller interned)\n",
+      speedup, epoch_bytes, vector_bytes, hb_ratio);
   return 0;
 }
 
@@ -361,6 +397,10 @@ int main(int argc, char** argv) {
     }
     if (epoch_bytes * 5 > vector_bytes) {
       std::fprintf(stderr, "bench_clock: clock-bytes ratio below 5x\n");
+      status = 1;
+    }
+    if (hb_index_row(out, flags.get_int("threads", 64)) < 2.0) {
+      std::fprintf(stderr, "bench_clock: interned HbIndex ratio below 2x\n");
       status = 1;
     }
   }

@@ -1,0 +1,16 @@
+/* Clean: nearest-neighbour ring shift.  Every rank's eager send to
+ * (rank + 1) % size pairs uniquely with the right neighbour's receive from
+ * (rank - 1 + size) % size — the static matcher folds both modular peer
+ * expressions and proves the pattern matches at every universe size. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  MPI_Send(&halo, 1, MPI_INT, (rank + 1) % size, 9, MPI_COMM_WORLD);
+  MPI_Recv(&halo, 1, MPI_INT, (rank - 1 + size) % size, 9, MPI_COMM_WORLD,
+           MPI_STATUS_IGNORE);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}

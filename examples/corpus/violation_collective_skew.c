@@ -1,0 +1,14 @@
+/* Violation: collective skew.  Only rank 0 reaches the barrier; the other
+ * ranks run straight to MPI_Finalize, so the rendezvous can never complete.
+ * The static matcher classifies this CollectiveOrderDivergence as definite
+ * — it holds on every abstract branch at every universe size. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}

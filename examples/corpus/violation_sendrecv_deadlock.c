@@ -1,0 +1,19 @@
+/* Violation: head-to-head blocking receives.  Both ranks post MPI_Recv
+ * before their MPI_Send, so neither message is ever deposited — the static
+ * communication matcher proves a CommDeadlock cycle on every branch and
+ * emits a witness schedule. */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Recv(&buf, 1, MPI_INT, 1, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&buf, 1, MPI_INT, 1, 5, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    MPI_Recv(&buf, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&buf, 1, MPI_INT, 0, 5, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}

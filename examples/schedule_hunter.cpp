@@ -7,17 +7,26 @@
 //
 //   ./schedule_hunter [--app=hidden] [--schedules=64] [--strategy=wildcard]
 //                     [--seed-base=1] [--schedule-dir=DIR]
+//                     [--guidance=FILE] [--stop-on-first]
 //                     [--expect-violation] [--no-replay-check]
 //
-// Exit codes: 0 ok; 1 --expect-violation given but the sweep found nothing
-// beyond the baseline, or a replay failed to reproduce; 2 usage error.
+// --strategy=guided uses static guidance: --guidance loads a StaticGuidance
+// file (static_analyzer_cli --emit-guidance); without one, --app=hidden
+// derives guidance from the app's built-in static model (src/sast/commstat).
+//
+// Exit codes: 0 ok; 1 a replay failed to reproduce its finding, or
+// --expect-violation was given but the sweep found nothing beyond the
+// baseline; 2 usage error.
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "src/apps/app.hpp"
 #include "src/apps/hidden_race.hpp"
+#include "src/explore/guidance.hpp"
 #include "src/explore/sweeper.hpp"
+#include "src/sast/commstat.hpp"
 #include "src/util/flags.hpp"
 
 namespace {
@@ -35,11 +44,31 @@ int main(int argc, char** argv) {
   cfg.schedules = flags.get_int("schedules", 64);
   cfg.base_seed = static_cast<std::uint64_t>(flags.get_int("seed-base", 1));
   cfg.schedule_dir = flags.get("schedule-dir", "");
+  cfg.stop_on_first_new = flags.get_bool("stop-on-first", false);
   if (!explore::parse_strategy_kind(flags.get("strategy", "wildcard"),
                                     &cfg.strategy)) {
     std::fprintf(stderr,
-                 "unknown --strategy (none|random|pct|delay|wildcard)\n");
+                 "unknown --strategy (none|random|pct|delay|wildcard|"
+                 "guided)\n");
     return 2;
+  }
+
+  const std::string guidance_path = flags.get("guidance", "");
+  if (!guidance_path.empty()) {
+    auto guidance = std::make_shared<explore::StaticGuidance>();
+    if (!explore::StaticGuidance::load(guidance_path, guidance.get())) {
+      std::fprintf(stderr, "cannot load guidance %s\n", guidance_path.c_str());
+      return 2;
+    }
+    cfg.guidance = std::move(guidance);
+  } else if (cfg.strategy == explore::StrategyKind::kGuided &&
+             app == "hidden") {
+    const sast::CommstatResult comm =
+        sast::analyze_comm_source(apps::hidden_race_model_source());
+    cfg.guidance = std::make_shared<explore::StaticGuidance>(comm.guidance);
+    std::printf("derived guidance from static model: %zu ambiguous site(s), "
+                "%zu ordered pair(s)\n",
+                cfg.guidance->ambiguous.size(), cfg.guidance->ordered.size());
   }
 
   explore::Sweeper::RankMain rank_main;
@@ -62,11 +91,20 @@ int main(int argc, char** argv) {
   explore::Sweeper sweeper(cfg);
   const explore::SweepResult result = sweeper.run(rank_main);
   std::printf("%s", result.to_string().c_str());
+  if (result.first_new_schedule >= 0) {
+    // Machine-parsed by CI's guided-vs-random gate; keep the format stable.
+    std::printf("first exploration-only finding: schedule %d\n",
+                result.first_new_schedule);
+  }
   for (const std::string& err : result.run_errors) {
     std::fprintf(stderr, "run error: %s\n", err.c_str());
   }
 
-  bool ok = true;
+  // Each failure mode is tracked separately so a replay failure cannot be
+  // masked by a satisfied --expect-violation (and vice versa); either one
+  // makes the exit code non-zero.
+  int replay_failures = 0;
+  bool expectation_failed = false;
 
   if (flags.get_bool("replay-check", true)) {
     // Determinism gate: every exploration-only finding's schedule must
@@ -78,7 +116,11 @@ int main(int argc, char** argv) {
       std::printf("replay seed %llu: %s %s\n",
                   static_cast<unsigned long long>(f.seed), f.key.c_str(),
                   reproduced ? "REPRODUCED" : "NOT REPRODUCED");
-      if (!reproduced) ok = false;
+      if (!reproduced) ++replay_failures;
+    }
+    if (replay_failures > 0) {
+      std::fprintf(stderr, "%d replay(s) failed to reproduce their finding\n",
+                   replay_failures);
     }
   }
 
@@ -88,8 +130,8 @@ int main(int argc, char** argv) {
                  "expected an exploration-only violation; none found in %d "
                  "schedule(s)\n",
                  result.schedules_run);
-    ok = false;
+    expectation_failed = true;
   }
 
-  return ok ? 0 : 1;
+  return (replay_failures > 0 || expectation_failed) ? 1 : 0;
 }

@@ -5,7 +5,8 @@
 // warnings, and the rewritten (HMPI_-wrapped) source.
 //
 //   ./static_analyzer_cli [file.c] [--dot] [--json] [--lint]
-//                         [--no-rewrite] [--emit-plan=FILE]
+//                         [--no-rewrite] [--emit-plan=FILE] [--sarif=FILE]
+//                         [--emit-guidance=FILE]
 //
 // Without a file argument, the paper's Figure 2 case study is analyzed.
 // --emit-plan writes the instrumentation plan to FILE for a later dynamic
@@ -14,11 +15,16 @@
 // the human-readable dump.
 // --lint prints only the warnings and exits nonzero when any warning is
 // classified definite — suitable as a CI gate.
+// --sarif writes the warnings as SARIF 2.1.0 so CI can annotate PRs.
+// --emit-guidance writes the commstat StaticGuidance artifact (ambiguous
+// wildcard sites + statically-ordered pairs) for guided exploration.
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/sast/analysis.hpp"
+#include "src/sast/commstat.hpp"
 #include "src/sast/diagnostics.hpp"
 #include "src/sast/rewriter.hpp"
 #include "src/util/flags.hpp"
@@ -115,6 +121,48 @@ void print_json(const std::string& name,
   std::fputs(os.str().c_str(), stdout);
 }
 
+/// SARIF 2.1.0: one run, one rule per warning class, one result per warning.
+/// Definite findings map to level "error", possible ones to "warning".
+bool write_sarif(const std::string& path, const std::string& name,
+                 const std::vector<home::sast::StaticWarning>& warnings) {
+  using home::sast::Severity;
+  std::set<std::string> rule_ids;
+  for (const auto& w : warnings) {
+    rule_ids.insert(home::sast::warning_class_name(w.cls));
+  }
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\"name\": \"home-sast\", "
+     << "\"rules\": [\n";
+  std::size_t k = 0;
+  for (const auto& id : rule_ids) {
+    os << "      {\"id\": \"" << id << "\"}"
+       << (++k < rule_ids.size() ? "," : "") << "\n";
+  }
+  os << "    ]}},\n"
+     << "    \"results\": [\n";
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    const auto& w = warnings[i];
+    os << "      {\"ruleId\": \"" << home::sast::warning_class_name(w.cls)
+       << "\", \"level\": \""
+       << (w.severity == Severity::kDefinite ? "error" : "warning")
+       << "\", \"message\": {\"text\": \"" << json_escape(w.message)
+       << (w.site.empty() ? "" : " (" + json_escape(w.site) + ")")
+       << "\"}, \"locations\": [{\"physicalLocation\": "
+       << "{\"artifactLocation\": {\"uri\": \"" << json_escape(name)
+       << "\"}, \"region\": {\"startLine\": " << (w.line > 0 ? w.line : 1)
+       << "}}}]}" << (i + 1 < warnings.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }]\n}\n";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << os.str();
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,7 +188,28 @@ int main(int argc, char** argv) {
 
   TranslationUnit unit = parse(source);
   AnalysisResult analysis = analyze(unit);
-  const auto warnings = diagnose(analysis);
+  auto warnings = diagnose(analysis);
+
+  // Communication matching/deadlock pass; its warnings join the report and
+  // its guidance artifact feeds guided exploration.
+  const CommstatResult comm = analyze_comm(unit, analysis);
+  warnings.insert(warnings.end(), comm.warnings.begin(), comm.warnings.end());
+
+  const std::string sarif_path = flags.get("sarif", "");
+  if (!sarif_path.empty()) {
+    if (!write_sarif(sarif_path, name, warnings)) {
+      std::fprintf(stderr, "cannot write SARIF to %s\n", sarif_path.c_str());
+      return 1;
+    }
+  }
+  const std::string guidance_path = flags.get("emit-guidance", "");
+  if (!guidance_path.empty()) {
+    if (!comm.guidance.save(guidance_path)) {
+      std::fprintf(stderr, "cannot write guidance to %s\n",
+                   guidance_path.c_str());
+      return 1;
+    }
+  }
 
   if (json) {
     print_json(name, analysis, warnings);
@@ -204,6 +273,15 @@ int main(int argc, char** argv) {
 
   std::printf("\nstatic warnings (%zu):\n", warnings.size());
   for (const auto& w : warnings) std::printf("  %s\n", w.to_string().c_str());
+
+  std::printf("\n%s\n", comm.to_string().c_str());
+  for (const auto& site : comm.guidance.ambiguous) {
+    std::printf("  ambiguous %s (%zu alternatives, phase %d)\n",
+                site.site.c_str(), site.alternatives, site.phase);
+  }
+  for (const auto& why : comm.imprecision) {
+    std::printf("  imprecision: %s\n", why.c_str());
+  }
 
   if (flags.get_bool("rewrite", true)) {
     const RewriteResult rewritten = rewrite(source, analysis);

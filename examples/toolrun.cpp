@@ -4,7 +4,14 @@
 //   Single run:    ./toolrun --app=lu --tool=home --nranks=2 --nthreads=2
 //   Exploration:   ./toolrun --app=hidden --explore=64 --strategy=wildcard
 //                            [--seed-base=1] [--schedule-dir=schedules]
+//                            [--guidance=FILE] [--stop-on-first]
 //   Replay:        ./toolrun --app=hidden --replay=schedules/seed5.schedule
+//
+// --strategy=guided uses the static-guidance strategy; --guidance loads the
+// StaticGuidance file (static_analyzer_cli --emit-guidance), enabling the
+// sweeper's fingerprint pruning with surfaced reasons.  For --app=hidden
+// with no --guidance file, guidance is derived from the app's built-in
+// static model.
 //
 // Apps: lu | bt | sp (paper injection configs; --clean disables injections)
 //       and hidden (the wildcard-gated hidden-race corpus program).
@@ -13,10 +20,14 @@
 #include <cstdio>
 #include <string>
 
+#include <memory>
+
 #include "src/apps/app.hpp"
 #include "src/apps/hidden_race.hpp"
 #include "src/apps/toolrun.hpp"
+#include "src/explore/guidance.hpp"
 #include "src/explore/sweeper.hpp"
+#include "src/sast/commstat.hpp"
 #include "src/spec/violations.hpp"
 #include "src/util/flags.hpp"
 
@@ -126,8 +137,31 @@ int run_explore(const util::Flags& flags, int schedules) {
   if (!explore::parse_strategy_kind(flags.get("strategy", "random"),
                                     &cfg.strategy)) {
     std::fprintf(stderr,
-                 "unknown --strategy (none|random|pct|delay|wildcard)\n");
+                 "unknown --strategy (none|random|pct|delay|wildcard|"
+                 "guided)\n");
     return 2;
+  }
+  cfg.stop_on_first_new = flags.get_bool("stop-on-first", false);
+
+  const std::string guidance_path = flags.get("guidance", "");
+  if (!guidance_path.empty()) {
+    auto guidance = std::make_shared<explore::StaticGuidance>();
+    if (!explore::StaticGuidance::load(guidance_path, guidance.get())) {
+      std::fprintf(stderr, "cannot load guidance %s\n", guidance_path.c_str());
+      return 2;
+    }
+    cfg.guidance = std::move(guidance);
+  } else if (cfg.strategy == explore::StrategyKind::kGuided &&
+             choice.name == "hidden") {
+    // Derive guidance from the app's built-in static model: the same
+    // commstat pass the CLI runs, closed into the sweep in-process.
+    const sast::CommstatResult comm =
+        sast::analyze_comm_source(apps::hidden_race_model_source());
+    cfg.guidance =
+        std::make_shared<explore::StaticGuidance>(comm.guidance);
+    std::printf("derived guidance from static model: %zu ambiguous site(s), "
+                "%zu ordered pair(s)\n",
+                cfg.guidance->ambiguous.size(), cfg.guidance->ordered.size());
   }
 
   const explore::SweepResult result =

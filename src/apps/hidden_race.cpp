@@ -11,11 +11,14 @@ using simmpi::kCommWorld;
 using simmpi::Process;
 using simmpi::Status;
 
-constexpr int kDataTag = 7;      ///< the racing payloads (both senders).
-constexpr int kRelayTag = 8;     ///< rank 1 -> rank 2 ordering token.
-constexpr int kGoTag = 100;      ///< rank 2 -> rank 0 "both queued" token.
-constexpr int kDecisionTag = 5;  ///< rank 0 announces the matched source.
+constexpr int kDataTag = 7;      ///< round-A racing payloads (both senders).
+constexpr int kRelayTag = 8;     ///< rank 1 -> rank 2 round-A ordering token.
 constexpr int kRacyTag = 9;      ///< payloads for the hidden racy branch.
+constexpr int kDataBTag = 11;    ///< round-B racing payloads (both senders).
+constexpr int kRelayBTag = 12;   ///< rank 1 -> rank 2 round-B ordering token.
+constexpr int kGoTag = 100;      ///< rank 2 -> rank 0 "round A queued" token.
+constexpr int kGoBTag = 101;     ///< rank 2 -> rank 0 "round B queued" token.
+constexpr int kDecisionTag = 5;  ///< rank 0 announces whether both picks hit.
 
 int run_rank0(Process& p) {
   int token = 0;
@@ -30,17 +33,30 @@ int run_rank0(Process& p) {
   int data = 0;
   p.recv(&data, 1, Datatype::kInt, kAnySource, kDataTag, kCommWorld, &st,
          {"hidden.pick"});
-  const int picked = st.source;
-  const int other = picked == 1 ? 2 : 1;
-  p.recv(&data, 1, Datatype::kInt, other, kDataTag, kCommWorld, nullptr,
-         {"hidden.drain"});
+  const int picked1 = st.source;
+  p.recv(&data, 1, Datatype::kInt, picked1 == 1 ? 2 : 1, kDataTag, kCommWorld,
+         nullptr, {"hidden.drain"});
 
+  // Round B: the same token-chain construction on tag 11.  The violating
+  // branch needs *both* wildcard picks to choose rank 2, so a uniform
+  // random pick reaches it with probability 1/4 per schedule while the
+  // static guidance (which flags exactly these two sites) reaches it
+  // deterministically.
+  p.recv(&token, 1, Datatype::kInt, 2, kGoBTag, kCommWorld, nullptr,
+         {"hidden.go2_recv"});
+  p.recv(&data, 1, Datatype::kInt, kAnySource, kDataBTag, kCommWorld, &st,
+         {"hidden.pick2"});
+  const int picked2 = st.source;
+  p.recv(&data, 1, Datatype::kInt, picked2 == 1 ? 2 : 1, kDataBTag, kCommWorld,
+         nullptr, {"hidden.drain2"});
+
+  const int hit = (picked1 == 2 && picked2 == 2) ? 1 : 0;
   for (int r = 1; r <= 2; ++r) {
-    p.send(&picked, 1, Datatype::kInt, r, kDecisionTag, kCommWorld,
+    p.send(&hit, 1, Datatype::kInt, r, kDecisionTag, kCommWorld,
            {"hidden.decide"});
   }
 
-  if (picked == 2) {
+  if (hit) {
     // The hidden branch: two team threads receive the same (src, tag)
     // pattern concurrently — the V3 thread-safety violation.
     homp::parallel(2, [&] {
@@ -49,7 +65,7 @@ int run_rank0(Process& p) {
              {"hidden.racy_recv"});
     });
   }
-  return picked;
+  return picked1 * 10 + picked2;
 }
 
 int run_rank1(Process& p) {
@@ -58,10 +74,14 @@ int run_rank1(Process& p) {
          {"hidden.data1"});
   p.send(&payload, 1, Datatype::kInt, 2, kRelayTag, kCommWorld,
          {"hidden.relay"});
+  p.send(&payload, 1, Datatype::kInt, 0, kDataBTag, kCommWorld,
+         {"hidden.data1b"});
+  p.send(&payload, 1, Datatype::kInt, 2, kRelayBTag, kCommWorld,
+         {"hidden.relay_b"});
   int decision = 0;
   p.recv(&decision, 1, Datatype::kInt, 0, kDecisionTag, kCommWorld, nullptr,
          {"hidden.decision1"});
-  if (decision == 2) {
+  if (decision) {
     for (int i = 0; i < 2; ++i) {
       p.send(&payload, 1, Datatype::kInt, 0, kRacyTag, kCommWorld,
              {"hidden.racy_send"});
@@ -78,6 +98,11 @@ int run_rank2(Process& p) {
   p.send(&payload, 1, Datatype::kInt, 0, kDataTag, kCommWorld,
          {"hidden.data2"});
   p.send(&payload, 1, Datatype::kInt, 0, kGoTag, kCommWorld, {"hidden.go"});
+  p.recv(&token, 1, Datatype::kInt, 1, kRelayBTag, kCommWorld, nullptr,
+         {"hidden.relay_recv_b"});
+  p.send(&payload, 1, Datatype::kInt, 0, kDataBTag, kCommWorld,
+         {"hidden.data2b"});
+  p.send(&payload, 1, Datatype::kInt, 0, kGoBTag, kCommWorld, {"hidden.go_b"});
   int decision = 0;
   p.recv(&decision, 1, Datatype::kInt, 0, kDecisionTag, kCommWorld, nullptr,
          {"hidden.decision2"});
@@ -99,6 +124,67 @@ int run_hidden_race_rank(Process& p) {
   }
   p.finalize({"hidden.fin"});
   return picked;
+}
+
+const char* hidden_race_model_source() {
+  // Keep in sync with the runtime program above: same tags, same per-rank
+  // op order, and HOME_SITE labels equal to the CallOpts callsites so the
+  // guidance the static analysis derives addresses the runtime pick sites.
+  return R"(/* Static model of src/apps/hidden_race.cpp (3 ranks). */
+#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    HOME_SITE("hidden.go_recv");
+    MPI_Recv(&token, 1, MPI_INT, 2, 100, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    HOME_SITE("hidden.pick");
+    MPI_Recv(&data, 1, MPI_INT, MPI_ANY_SOURCE, 7, MPI_COMM_WORLD, &st);
+    HOME_SITE("hidden.drain");
+    MPI_Recv(&data, 1, MPI_INT, MPI_ANY_SOURCE, 7, MPI_COMM_WORLD, &st);
+    HOME_SITE("hidden.go2_recv");
+    MPI_Recv(&token, 1, MPI_INT, 2, 101, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    HOME_SITE("hidden.pick2");
+    MPI_Recv(&data, 1, MPI_INT, MPI_ANY_SOURCE, 11, MPI_COMM_WORLD, &st);
+    HOME_SITE("hidden.drain2");
+    MPI_Recv(&data, 1, MPI_INT, MPI_ANY_SOURCE, 11, MPI_COMM_WORLD, &st);
+    HOME_SITE("hidden.decide");
+    MPI_Send(&hit, 1, MPI_INT, 1, 5, MPI_COMM_WORLD);
+    HOME_SITE("hidden.decide");
+    MPI_Send(&hit, 1, MPI_INT, 2, 5, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    HOME_SITE("hidden.data1");
+    MPI_Send(&payload, 1, MPI_INT, 0, 7, MPI_COMM_WORLD);
+    HOME_SITE("hidden.relay");
+    MPI_Send(&payload, 1, MPI_INT, 2, 8, MPI_COMM_WORLD);
+    HOME_SITE("hidden.data1b");
+    MPI_Send(&payload, 1, MPI_INT, 0, 11, MPI_COMM_WORLD);
+    HOME_SITE("hidden.relay_b");
+    MPI_Send(&payload, 1, MPI_INT, 2, 12, MPI_COMM_WORLD);
+    HOME_SITE("hidden.decision1");
+    MPI_Recv(&decision, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  if (rank == 2) {
+    HOME_SITE("hidden.relay_recv");
+    MPI_Recv(&token, 1, MPI_INT, 1, 8, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    HOME_SITE("hidden.data2");
+    MPI_Send(&payload, 1, MPI_INT, 0, 7, MPI_COMM_WORLD);
+    HOME_SITE("hidden.go");
+    MPI_Send(&payload, 1, MPI_INT, 0, 100, MPI_COMM_WORLD);
+    HOME_SITE("hidden.relay_recv_b");
+    MPI_Recv(&token, 1, MPI_INT, 1, 12, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    HOME_SITE("hidden.data2b");
+    MPI_Send(&payload, 1, MPI_INT, 0, 11, MPI_COMM_WORLD);
+    HOME_SITE("hidden.go_b");
+    MPI_Send(&payload, 1, MPI_INT, 0, 101, MPI_COMM_WORLD);
+    HOME_SITE("hidden.decision2");
+    MPI_Recv(&decision, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
 }
 
 }  // namespace home::apps

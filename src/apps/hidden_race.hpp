@@ -13,16 +13,25 @@ namespace home::apps {
 /// The program is written for exactly this many ranks.
 inline constexpr int kHiddenRaceRanks = 3;
 
-/// One rank's body. Message flow:
-///   rank 1: data(tag 7) -> 0, then relay token -> 2
-///   rank 2: after the relay, data(tag 7) -> 0, then go token -> 0
+/// One rank's body. Two token-chained rounds; each works like:
+///   rank 1: data(tag) -> 0, then relay token -> 2
+///   rank 2: after the relay, data(tag) -> 0, then go token -> 0
 ///   rank 0: after the go token both data messages are queued (eager sends
 ///           deliver synchronously, the token chain orders them), so the
-///           wildcard receive on tag 7 has two eligible senders. Queue order
-///           makes rank 1 the default match; if the explorer picks rank 2,
-///           rank 0 announces it and runs two concurrent same-pattern
-///           receives in an OpenMP team — the hidden V3.
-/// Returns the source the wildcard receive matched.
+///           wildcard receive has two eligible senders. Queue order makes
+///           rank 1 the default match in both rounds; only if the explorer
+///           picks rank 2 at BOTH wildcard receives ("hidden.pick" and
+///           "hidden.pick2") does rank 0 announce a hit and run two
+///           concurrent same-pattern receives in an OpenMP team — the
+///           hidden V3. A uniform strategy hits it with probability 1/4
+///           per schedule; the static-guided strategy hits it on the first.
+/// Returns picked1 * 10 + picked2 for rank 0, 0 otherwise.
 int run_hidden_race_rank(simmpi::Process& p);
+
+/// A hybrid-C model of the same program, suitable for src/sast parsing and
+/// commstat analysis. HOME_SITE("label") pseudo-calls carry the runtime
+/// pick-site labels so the StaticGuidance it yields matches the dynamic
+/// wildcard sites exactly.
+const char* hidden_race_model_source();
 
 }  // namespace home::apps

@@ -1,11 +1,49 @@
 #include "src/detect/happens_before.hpp"
 
 #include <cassert>
+#include <unordered_set>
 
 #include "src/detect/incremental.hpp"
 #include "src/obs/telemetry.hpp"
 
 namespace home::detect {
+
+HbIndex::HbIndex(std::vector<trace::Event> events,
+                 std::vector<VectorClock> stamps)
+    : events_(std::move(events)) {
+  assert(events_.size() == stamps.size());
+  ClockArena& arena = ClockArena::global();
+  stamps_.reserve(stamps.size());
+  std::vector<std::uint64_t> frame;
+  for (std::size_t i = 0; i < stamps.size(); ++i) {
+    FrameStamp s;
+    s.tid = events_[i].tid;
+    s.own = stamps[i].get(s.tid);
+    dense_stamp_bytes_ += stamps[i].heap_bytes();
+    frame.assign(stamps[i].data(), stamps[i].data() + stamps[i].size());
+    if (static_cast<std::size_t>(s.tid) < frame.size()) {
+      frame[static_cast<std::size_t>(s.tid)] = 0;
+    }
+    s.frame = arena.intern(frame.data(), frame.size());
+    stamps_.push_back(std::move(s));
+  }
+}
+
+VectorClock HbIndex::stamp_clock(std::size_t i) const {
+  const FrameStamp& s = stamps_[i];
+  VectorClock clock(s.frame->data(), s.frame->size());
+  clock.set(s.tid, s.own);
+  return clock;
+}
+
+std::size_t HbIndex::stamp_bytes() const {
+  std::size_t bytes = stamps_.capacity() * sizeof(FrameStamp);
+  std::unordered_set<const InternedClock*> seen;
+  for (const FrameStamp& s : stamps_) {
+    if (seen.insert(s.frame.get()).second) bytes += s.frame->bytes();
+  }
+  return bytes;
+}
 
 std::size_t HbIndex::index_of_seq(trace::Seq seq) const {
   // events_ is sorted by seq; binary search.
@@ -42,9 +80,9 @@ HbIndex HappensBeforeAnalysis::run(std::vector<trace::Event> events) const {
   for (std::size_t i = 0; i < events.size(); ++i) {
     stamps[i] = inc.advance(events[i]).to_clock();
   }
-  // The post-mortem index materializes one private full clock per event
-  // regardless of engine (arbitrary-order queries need them); one batched
-  // fold keeps the replay loop free of atomics.
+  // The post-mortem index needs arbitrary-order queries, but the HbIndex
+  // constructor interns the per-event frames instead of keeping one private
+  // full clock each; one batched fold keeps the replay loop free of atomics.
   static obs::Counter& allocs = obs::Registry::global().counter("clock.allocs");
   if (!events.empty()) allocs.add(events.size());
   return HbIndex(std::move(events), std::move(stamps));

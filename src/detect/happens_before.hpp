@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "src/detect/clock_arena.hpp"
 #include "src/detect/vector_clock.hpp"
 #include "src/trace/event.hpp"
 
@@ -26,21 +27,50 @@ namespace home::detect {
 
 struct HappensBeforeConfig {
   bool lock_edges = false;      ///< model release->acquire as an HB edge.
-  bool message_edges = true;    ///< model MsgSend->MsgRecv as an HB edge.
+  bool message_edges = true;    ///< model MsgSend->MsgRcv as an HB edge.
 };
 
 /// Per-event clock stamps plus ordering queries.
+///
+/// Stamps are stored factored, not as private dense clocks: each event keeps
+/// its own (tid, value) component inline plus a ClockRef to its *frame* —
+/// the stamp with the own component zeroed, interned in the global
+/// ClockArena.  Between incoming sync edges a thread's frame never changes
+/// (only its own component advances), so long per-thread runs share one
+/// interned allocation and the index's resident clock bytes collapse from
+/// O(events * threads) to O(sync-edges * threads).
 class HbIndex {
  public:
-  HbIndex(std::vector<trace::Event> events, std::vector<VectorClock> stamps)
-      : events_(std::move(events)), stamps_(std::move(stamps)) {}
+  /// Interns the dense per-event stamps (clocks[i] belongs to events[i]).
+  HbIndex(std::vector<trace::Event> events, std::vector<VectorClock> stamps);
 
   const std::vector<trace::Event>& events() const { return events_; }
-  const VectorClock& stamp(std::size_t i) const { return stamps_[i]; }
+
+  /// Component `tid` of event i's stamp.
+  std::uint64_t stamp_get(std::size_t i, trace::Tid tid) const {
+    const FrameStamp& s = stamps_[i];
+    return tid == s.tid ? s.own : s.frame->get(tid);
+  }
+
+  /// Event i's stamp materialized as a dense clock (test/diagnostic use;
+  /// queries should go through stamp_get/ordered, which stay allocation-free).
+  VectorClock stamp_clock(std::size_t i) const;
 
   /// events()[i] happens-before events()[j].
   bool ordered(std::size_t i, std::size_t j) const {
-    return stamps_[i].leq(stamps_[j]);
+    const FrameStamp& a = stamps_[i];
+    const FrameStamp& b = stamps_[j];
+    std::size_t n = a.frame->size();
+    if (static_cast<std::size_t>(a.tid) >= n) {
+      n = static_cast<std::size_t>(a.tid) + 1;
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      const trace::Tid tid = static_cast<trace::Tid>(t);
+      const std::uint64_t av = tid == a.tid ? a.own : a.frame->get(tid);
+      const std::uint64_t bv = tid == b.tid ? b.own : b.frame->get(tid);
+      if (av > bv) return false;
+    }
+    return true;
   }
 
   /// Neither order holds (the paper's IsPotentialHappenBeforeRace core).
@@ -51,11 +81,25 @@ class HbIndex {
   /// Find the index of the event with the given seq stamp (or npos).
   std::size_t index_of_seq(trace::Seq seq) const;
 
+  /// Resident bytes of the stamp store: inline FrameStamps plus each
+  /// distinct interned frame counted once.
+  std::size_t stamp_bytes() const;
+  /// What the same stamps would occupy as private dense clocks (the
+  /// pre-interning representation) — the bench compares the two.
+  std::size_t dense_stamp_bytes() const { return dense_stamp_bytes_; }
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:
+  struct FrameStamp {
+    trace::Tid tid = 0;        ///< issuing thread.
+    std::uint64_t own = 0;     ///< the stamp's own component.
+    ClockRef frame;            ///< stamp with own component zeroed, interned.
+  };
+
   std::vector<trace::Event> events_;
-  std::vector<VectorClock> stamps_;
+  std::vector<FrameStamp> stamps_;
+  std::size_t dense_stamp_bytes_ = 0;
 };
 
 /// Pairwise HB-race check mirroring the paper's formulation: same location,

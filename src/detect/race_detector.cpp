@@ -108,7 +108,7 @@ bool accesses_racy_ordered(const RaceDetectorConfig& cfg, const HbIndex& hb,
   bool unordered;
   if (cfg.clock == ClockEngine::kEpoch) {
     // One component read each instead of two full-clock scans (header).
-    unordered = hb.stamp(j).get(ej.tid) > hb.stamp(i).get(ej.tid);
+    unordered = hb.stamp_get(j, ej.tid) > hb.stamp_get(i, ej.tid);
     if (epoch_hits != nullptr) ++*epoch_hits;
   } else {
     unordered = hb.concurrent(j, i);

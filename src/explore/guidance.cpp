@@ -1,0 +1,145 @@
+#include "src/explore/guidance.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/rng.hpp"
+
+namespace home::explore {
+
+namespace {
+
+constexpr const char* kHeader = "# home explore guidance v1";
+
+std::uint64_t fold_string(std::uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const AmbiguousSite* StaticGuidance::find(const std::string& site) const {
+  for (const AmbiguousSite& s : ambiguous) {
+    if (s.site == site) return &s;
+  }
+  return nullptr;
+}
+
+bool StaticGuidance::is_ordered_pair(const std::string& a,
+                                     const std::string& b) const {
+  for (const OrderedPair& p : ordered) {
+    if ((p.before == a && p.after == b) || (p.before == b && p.after == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string StaticGuidance::to_string() const {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  for (const AmbiguousSite& s : ambiguous) {
+    os << "site " << s.site << ' ' << s.alternatives << ' ' << s.occurrences
+       << ' ' << s.phase << "\n";
+  }
+  for (const OrderedPair& p : ordered) {
+    os << "ordered " << p.before << ' ' << p.after << ' '
+       << (p.why.empty() ? "-" : p.why) << "\n";
+  }
+  for (const auto& [phase, ambiguity] : phase_ambiguity) {
+    os << "phase " << phase << ' ' << ambiguity << "\n";
+  }
+  return os.str();
+}
+
+bool StaticGuidance::parse(const std::string& text, StaticGuidance* out) {
+  StaticGuidance parsed;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "site") {
+      AmbiguousSite s;
+      ls >> s.site >> s.alternatives >> s.occurrences >> s.phase;
+      if (ls.fail() || s.site.empty()) return false;
+      parsed.ambiguous.push_back(std::move(s));
+    } else if (word == "ordered") {
+      OrderedPair p;
+      ls >> p.before >> p.after;
+      if (ls.fail()) return false;
+      std::getline(ls, p.why);
+      while (!p.why.empty() && p.why.front() == ' ') p.why.erase(0, 1);
+      if (p.why == "-") p.why.clear();
+      parsed.ordered.push_back(std::move(p));
+    } else if (word == "phase") {
+      int phase = 0;
+      std::size_t ambiguity = 0;
+      ls >> phase >> ambiguity;
+      if (ls.fail()) return false;
+      parsed.phase_ambiguity.emplace_back(phase, ambiguity);
+    } else {
+      return false;
+    }
+  }
+  if (!saw_header) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+bool StaticGuidance::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << to_string();
+  return static_cast<bool>(os);
+}
+
+bool StaticGuidance::load(const std::string& path, StaticGuidance* out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str(), out);
+}
+
+std::size_t guided_pick_value(std::uint64_t seed, const std::string& site,
+                              std::uint64_t occurrence,
+                              std::size_t n_eligible) {
+  if (n_eligible < 2) return 0;
+  // Seeded choice among the non-default alternatives only: index 0 is the
+  // arrival order every uncontrolled run already covers.  Keyed by (seed,
+  // site, occurrence) and nothing else — rank and lane are deliberately
+  // excluded so the Sweeper can evaluate this function offline.
+  std::uint64_t h = fold_string(0xcbf29ce484222325ULL, site);
+  h ^= occurrence + 1;
+  std::uint64_t s = seed ^ h ^ 0x9e3779b97f4a7c15ULL;
+  return 1 + static_cast<std::size_t>(util::splitmix64(s) % (n_eligible - 1));
+}
+
+std::uint64_t guided_fingerprint(const StaticGuidance& guidance,
+                                 std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  for (const AmbiguousSite& s : guidance.ambiguous) {
+    h = fold_string(h, s.site);
+    for (std::uint64_t occ = 0; occ < s.occurrences; ++occ) {
+      fold(guided_pick_value(seed, s.site, occ, s.alternatives));
+    }
+  }
+  return h;
+}
+
+}  // namespace home::explore

@@ -181,6 +181,41 @@ class WildcardReorderStrategy final : public Strategy {
   std::uint64_t seed_;
 };
 
+/// Static-guidance-driven picks (ISSUE-8): only sites the static
+/// communication analysis flagged as ambiguous are perturbed, and always to
+/// a non-default alternative (guided_pick_value) — the default arrival order
+/// is the baseline run.  Unflagged sites keep the default, so the whole
+/// run's pick stream is a pure function of (guidance, seed) that the
+/// Sweeper can fingerprint offline.  Without guidance, falls back to
+/// uniform wildcard-style picks so `--strategy=guided` is still usable.
+class GuidedStrategy final : public Strategy {
+ public:
+  GuidedStrategy(std::uint64_t seed,
+                 std::shared_ptr<const StaticGuidance> guidance)
+      : seed_(seed), guidance_(std::move(guidance)) {}
+
+  const char* name() const override { return "guided"; }
+
+  std::uint32_t on_yield(const YieldContext&) override { return 0; }
+
+  std::size_t on_pick(const PickContext& ctx) override {
+    if (!guidance_ || guidance_->empty()) {
+      const std::uint64_t h =
+          context_hash(ctx.kind, ctx.rank, ctx.lane, ctx.site, ctx.occurrence);
+      return static_cast<std::size_t>(draw(seed_, h, 6) % ctx.n_eligible);
+    }
+    const std::string site = ctx.site ? ctx.site : "";
+    if (!guidance_->find(site)) return 0;
+    const std::size_t v =
+        guided_pick_value(seed_, site, ctx.occurrence, ctx.n_eligible);
+    return v < ctx.n_eligible ? v : ctx.n_eligible - 1;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::shared_ptr<const StaticGuidance> guidance_;
+};
+
 class ReplayStrategy final : public Strategy {
  public:
   explicit ReplayStrategy(const Schedule& schedule) {
@@ -234,6 +269,7 @@ const char* strategy_kind_name(StrategyKind kind) {
     case StrategyKind::kPct: return "pct";
     case StrategyKind::kDelayInjection: return "delay_injection";
     case StrategyKind::kWildcardReorder: return "wildcard_reorder";
+    case StrategyKind::kGuided: return "guided";
   }
   return "?";
 }
@@ -244,12 +280,14 @@ bool parse_strategy_kind(const std::string& name, StrategyKind* out) {
   else if (name == "pct") *out = StrategyKind::kPct;
   else if (name == "delay" || name == "delay_injection") *out = StrategyKind::kDelayInjection;
   else if (name == "wildcard" || name == "wildcard_reorder") *out = StrategyKind::kWildcardReorder;
+  else if (name == "guided") *out = StrategyKind::kGuided;
   else return false;
   return true;
 }
 
-std::unique_ptr<Strategy> make_strategy(StrategyKind kind, std::uint64_t seed,
-                                        const StrategyTuning& tuning) {
+std::unique_ptr<Strategy> make_strategy(
+    StrategyKind kind, std::uint64_t seed, const StrategyTuning& tuning,
+    std::shared_ptr<const StaticGuidance> guidance) {
   switch (kind) {
     case StrategyKind::kNone:
       return std::make_unique<NoneStrategy>();
@@ -261,6 +299,8 @@ std::unique_ptr<Strategy> make_strategy(StrategyKind kind, std::uint64_t seed,
       return std::make_unique<DelayInjectionStrategy>(seed, tuning);
     case StrategyKind::kWildcardReorder:
       return std::make_unique<WildcardReorderStrategy>(seed);
+    case StrategyKind::kGuided:
+      return std::make_unique<GuidedStrategy>(seed, std::move(guidance));
   }
   return std::make_unique<NoneStrategy>();
 }

@@ -22,6 +22,10 @@
 //                    the paper's violation window — leaving picks alone.
 //   kWildcardReorder pure matching nondeterminism: uniform re-picks among
 //                    eligible senders/receives, no delays.
+//   kGuided          static-guidance-driven (ISSUE-8): perturbs picks only at
+//                    sites src/sast/commstat proved ambiguous, always away
+//                    from the default arrival order; no delays.  Without a
+//                    StaticGuidance it degrades to kWildcardReorder picks.
 //   (replay)         feeds back a recorded Schedule, exactly.
 #pragma once
 
@@ -30,6 +34,7 @@
 #include <memory>
 #include <string>
 
+#include "src/explore/guidance.hpp"
 #include "src/explore/schedule.hpp"
 
 namespace home::explore {
@@ -70,10 +75,12 @@ enum class StrategyKind : std::uint8_t {
   kPct,
   kDelayInjection,
   kWildcardReorder,
+  kGuided,
 };
 
 const char* strategy_kind_name(StrategyKind kind);
-/// Parse "none" / "random" / "pct" / "delay" / "wildcard"; false on unknown.
+/// Parse "none" / "random" / "pct" / "delay" / "wildcard" / "guided"; false
+/// on unknown.
 bool parse_strategy_kind(const std::string& name, StrategyKind* out);
 
 /// Tuning knobs shared by the seeded strategies (defaults are what the sweep
@@ -84,8 +91,9 @@ struct StrategyTuning {
   int pct_inversions = 3;           ///< PCT: priority change points per run.
 };
 
-std::unique_ptr<Strategy> make_strategy(StrategyKind kind, std::uint64_t seed,
-                                        const StrategyTuning& tuning = {});
+std::unique_ptr<Strategy> make_strategy(
+    StrategyKind kind, std::uint64_t seed, const StrategyTuning& tuning = {},
+    std::shared_ptr<const StaticGuidance> guidance = nullptr);
 
 /// Replay: every decision recorded in `schedule` is re-issued at the same
 /// (kind, rank, lane, site, occurrence); unrecorded hook hits take the
@@ -102,6 +110,9 @@ struct Options {
   StrategyTuning tuning;
   /// When set, the run replays this schedule (strategy/seed are ignored).
   std::shared_ptr<const Schedule> replay;
+  /// Static guidance for StrategyKind::kGuided (and the Sweeper's
+  /// fingerprint pruning); ignored by the other strategies.
+  std::shared_ptr<const StaticGuidance> guidance;
 };
 
 }  // namespace home::explore

@@ -5,6 +5,7 @@
 
 #include "src/homp/runtime.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/util/stats.hpp"
 
 namespace home::explore {
@@ -34,6 +35,13 @@ std::string SweepResult::to_string() const {
     }
     if (!f.schedule_path.empty()) os << " -> " << f.schedule_path;
     os << "\n";
+  }
+  if (!pruned.empty()) {
+    os << "  pruned " << pruned.size() << " schedule(s) statically:\n";
+    for (const PrunedSchedule& p : pruned) {
+      os << "    schedule " << p.index << " (seed " << p.seed
+         << "): " << p.reason << "\n";
+    }
   }
   os << "  coverage curve (cumulative unique violations):";
   for (std::size_t c : coverage_curve) os << " " << c;
@@ -92,6 +100,10 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
     }
     for (const std::string& key : outcome.keys) {
       if (!seen.insert(key).second) continue;
+      if (index >= 0 && result.baseline_keys.count(key) == 0 &&
+          result.first_new_schedule < 0) {
+        result.first_new_schedule = index;
+      }
       SweepFinding f;
       f.key = key;
       f.seed = seed;
@@ -118,14 +130,43 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
     note_run(baseline, -1, 0);
   }
 
+  // Static fingerprint pruning: with guidance, a guided run's pick stream is
+  // a pure function of the seed; two seeds with equal fingerprints make the
+  // same picks, so their runs can only differ by permuting pairs the static
+  // analysis proved ordered — redundant schedules, skipped with a reason.
+  obs::Counter& pruned_counter =
+      obs::Registry::global().counter("explore.pruned_schedules");
+  std::set<std::uint64_t> fingerprints;
+  const bool can_prune = cfg_.strategy == StrategyKind::kGuided &&
+                         cfg_.guidance && !cfg_.guidance->empty();
+
   for (int i = 0; i < cfg_.schedules; ++i) {
     Options opts;
     opts.enabled = true;
     opts.strategy = cfg_.strategy;
     opts.seed = cfg_.base_seed + static_cast<std::uint64_t>(i);
     opts.tuning = cfg_.tuning;
+    opts.guidance = cfg_.guidance;
+    if (can_prune) {
+      const std::uint64_t fp = guided_fingerprint(*cfg_.guidance, opts.seed);
+      if (!fingerprints.insert(fp).second) {
+        PrunedSchedule p;
+        p.index = i;
+        p.seed = opts.seed;
+        p.reason = "guided pick fingerprint " + std::to_string(fp) +
+                   " already run; differs only in " +
+                   std::to_string(cfg_.guidance->ordered.size()) +
+                   " statically-ordered pair(s)";
+        result.pruned.push_back(std::move(p));
+        pruned_counter.add(1);
+        result.coverage_curve.push_back(
+            result.coverage_curve.empty() ? 0 : result.coverage_curve.back());
+        continue;
+      }
+    }
     const RunOutcome outcome = run_once(opts, rank_main);
     note_run(outcome, i, opts.seed);
+    if (cfg_.stop_on_first_new && result.first_new_schedule >= 0) break;
   }
 
   // Flag findings the baseline also reported (first seen by a schedule but

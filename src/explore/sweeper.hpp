@@ -41,6 +41,13 @@ struct SweepConfig {
   simmpi::ThreadLevel max_thread_level = simmpi::ThreadLevel::kMultiple;
   bool rendezvous_sends = false;
   int block_timeout_ms = 10000;
+  /// Static guidance (src/sast/commstat): forwarded to the kGuided strategy
+  /// and used to prune schedules whose guided pick fingerprint duplicates an
+  /// earlier seed's — such runs can only permute statically-ordered pairs.
+  std::shared_ptr<const StaticGuidance> guidance;
+  /// Stop sweeping after the first exploration-exclusive finding (time-to-
+  /// first-violation measurements).
+  bool stop_on_first_new = false;
 };
 
 /// One unique violation key and the earliest schedule that produced it.
@@ -51,6 +58,13 @@ struct SweepFinding {
   Schedule schedule;           ///< empty for baseline findings.
   std::string schedule_path;   ///< set when saved to schedule_dir.
   bool in_baseline = false;    ///< also reported by the uncontrolled run.
+};
+
+/// A schedule the sweep skipped without running, with the static reason.
+struct PrunedSchedule {
+  int index = -1;
+  std::uint64_t seed = 0;
+  std::string reason;
 };
 
 struct SweepResult {
@@ -64,6 +78,10 @@ struct SweepResult {
   std::uint64_t hook_hits = 0;              ///< total hook hits, all runs.
   double seconds = 0.0;
   std::vector<std::string> run_errors;      ///< rank failures, per schedule.
+  std::vector<PrunedSchedule> pruned;       ///< statically-pruned schedules.
+  /// Index of the first schedule that surfaced an exploration-exclusive
+  /// violation (-1 = none did).
+  int first_new_schedule = -1;
 
   /// Keys the sweep found that the baseline run did not.
   std::size_t new_vs_baseline() const;

@@ -69,7 +69,8 @@ void Session::attach(simmpi::Universe& universe) {
         cfg_.explore.replay
             ? explore::make_replay_strategy(*cfg_.explore.replay)
             : explore::make_strategy(cfg_.explore.strategy, cfg_.explore.seed,
-                                     cfg_.explore.tuning);
+                                     cfg_.explore.tuning,
+                                     cfg_.explore.guidance);
     explorer_ = std::make_unique<explore::Explorer>(std::move(strategy));
   }
   if (explorer_) explore::install(explorer_.get());

@@ -130,6 +130,10 @@ const char* warning_class_name(WarningClass w) {
     case WarningClass::kConcurrentRequest: return "ConcurrentRequestViolation";
     case WarningClass::kProbe: return "ProbeViolation";
     case WarningClass::kCollectiveCall: return "CollectiveCallViolation";
+    case WarningClass::kUnmatchedSend: return "UnmatchedSend";
+    case WarningClass::kUnmatchedRecv: return "UnmatchedRecv";
+    case WarningClass::kCollectiveOrder: return "CollectiveOrderDivergence";
+    case WarningClass::kDeadlock: return "CommDeadlock";
   }
   return "?";
 }

@@ -23,6 +23,11 @@ enum class WarningClass : std::uint8_t {
   kConcurrentRequest,
   kProbe,
   kCollectiveCall,
+  // Communication-matching classes (src/sast/commstat):
+  kUnmatchedSend,
+  kUnmatchedRecv,
+  kCollectiveOrder,
+  kDeadlock,
 };
 
 const char* warning_class_name(WarningClass w);

@@ -99,7 +99,8 @@ void Mailbox::post_recv(const std::shared_ptr<RequestState>& recv) {
   }
   if (!eligible.empty()) {
     const std::size_t choice = explore::pick_point(
-        explore::HookKind::kWildcardPick, owner_rank_, "mailbox.wildcard",
+        explore::HookKind::kWildcardPick, owner_rank_,
+        recv->site.empty() ? "mailbox.wildcard" : recv->site.c_str(),
         eligible.size());
     Envelope msg = std::move(*eligible[choice]);
     unexpected_.erase(eligible[choice]);

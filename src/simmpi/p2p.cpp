@@ -81,6 +81,7 @@ Request Process::irecv(void* buf, int count, Datatype dt, int src, int tag,
         state->buf = buf;
         state->count = count;
         state->dt = dt;
+        if (opts.callsite) state->site = opts.callsite;
         uni_->mailbox(rank_).post_recv(state);
         return Request(state);
       });
@@ -100,6 +101,7 @@ Err Process::recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm
         state->buf = buf;
         state->count = count;
         state->dt = dt;
+        if (opts.callsite) state->site = opts.callsite;
         uni_->mailbox(rank_).post_recv(state);
         const Err err = state->wait(uni_->config().block_timeout_ms);
         const Status st = state->status();
@@ -336,6 +338,7 @@ Request Process::recv_init(void* buf, int count, Datatype dt, int src, int tag,
         state->buf = buf;
         state->count = count;
         state->dt = dt;
+        if (opts.callsite) state->site = opts.callsite;
         PersistentInfo info;
         info.is_send = false;
         info.count = count;

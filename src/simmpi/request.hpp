@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/simmpi/types.hpp"
@@ -65,6 +66,10 @@ class RequestState {
   void* buf = nullptr;
   int count = 0;
   Datatype dt = Datatype::kByte;
+  /// Callsite label (CallOpts::callsite) of the posting receive, if any;
+  /// used as the explorer's pick-site label so static guidance can address
+  /// individual wildcard receives instead of the shared mailbox site.
+  std::string site;
 
   /// Persistent-mode parameters (set by *_init, consumed by MPI_Start).
   std::optional<PersistentInfo> persistent;

@@ -1,0 +1,406 @@
+// Tests for the static communication-matching & deadlock engine
+// (src/sast/commstat) and the StaticGuidance artifact it emits — including
+// the ISSUE-8 consistency satellite: randomized program specs are analyzed
+// statically AND swept dynamically over small universes, and no kDefinite
+// static verdict may be dynamically refuted.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hidden_race.hpp"
+#include "src/explore/guidance.hpp"
+#include "src/explore/sweeper.hpp"
+#include "src/sast/commstat.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace home;
+using sast::CommstatOptions;
+using sast::CommstatResult;
+using sast::Severity;
+using sast::StaticWarning;
+using sast::WarningClass;
+
+bool has_warning(const CommstatResult& r, WarningClass cls,
+                 Severity severity) {
+  for (const StaticWarning& w : r.warnings) {
+    if (w.cls == cls && w.severity == severity) return true;
+  }
+  return false;
+}
+
+bool has_definite_blocking_finding(const CommstatResult& r) {
+  return has_warning(r, WarningClass::kDeadlock, Severity::kDefinite) ||
+         has_warning(r, WarningClass::kUnmatchedRecv, Severity::kDefinite) ||
+         has_warning(r, WarningClass::kCollectiveOrder, Severity::kDefinite);
+}
+
+// ---------------------------------------------------------------------------
+// StaticGuidance artifact.
+
+TEST(Guidance, RoundTripThroughTextAndFile) {
+  explore::StaticGuidance g;
+  g.ambiguous.push_back({"app.pick", 3, 2, 1});
+  g.ambiguous.push_back({"app.pick2", 2, 1, 0});
+  g.ordered.push_back({"app.send", "app.recv", "unique-match"});
+  g.ordered.push_back({"a", "b", ""});
+  g.phase_ambiguity.push_back({0, 1});
+  g.phase_ambiguity.push_back({1, 2});
+
+  explore::StaticGuidance parsed;
+  ASSERT_TRUE(explore::StaticGuidance::parse(g.to_string(), &parsed));
+  EXPECT_EQ(parsed.to_string(), g.to_string());
+  ASSERT_EQ(parsed.ambiguous.size(), 2u);
+  EXPECT_EQ(parsed.ambiguous[0].site, "app.pick");
+  EXPECT_EQ(parsed.ambiguous[0].alternatives, 3u);
+  EXPECT_EQ(parsed.ambiguous[0].occurrences, 2u);
+  EXPECT_EQ(parsed.ambiguous[0].phase, 1);
+  ASSERT_EQ(parsed.ordered.size(), 2u);
+  EXPECT_EQ(parsed.ordered[0].why, "unique-match");
+  EXPECT_TRUE(parsed.is_ordered_pair("app.recv", "app.send"));
+  EXPECT_FALSE(parsed.is_ordered_pair("app.recv", "app.pick"));
+  ASSERT_EQ(parsed.phase_ambiguity.size(), 2u);
+  EXPECT_EQ(parsed.phase_ambiguity[1].second, 2u);
+
+  const std::string path = "commstat_test_roundtrip.guidance";
+  ASSERT_TRUE(g.save(path));
+  explore::StaticGuidance loaded;
+  ASSERT_TRUE(explore::StaticGuidance::load(path, &loaded));
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.to_string(), g.to_string());
+}
+
+TEST(Guidance, GuidedPickValueIsNonDefaultAndInRange) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    EXPECT_EQ(explore::guided_pick_value(seed, "s", 0, 0), 0u);
+    EXPECT_EQ(explore::guided_pick_value(seed, "s", 0, 1), 0u);
+    for (std::size_t n = 2; n <= 5; ++n) {
+      for (std::uint64_t occ = 0; occ < 3; ++occ) {
+        const std::size_t v = explore::guided_pick_value(seed, "s", occ, n);
+        EXPECT_GE(v, 1u) << "guided picks must leave the default arm";
+        EXPECT_LT(v, n);
+        // Pure function of its arguments.
+        EXPECT_EQ(v, explore::guided_pick_value(seed, "s", occ, n));
+      }
+    }
+    // Two-way sites have a single non-default arm: the pick is the same for
+    // every seed, which is what makes fingerprint pruning collapse them.
+    EXPECT_EQ(explore::guided_pick_value(seed, "any.site", 7, 2), 1u);
+  }
+}
+
+TEST(Guidance, FingerprintCollapsesTwoWaySitesOnly) {
+  explore::StaticGuidance two_way;
+  two_way.ambiguous.push_back({"a.pick", 2, 2, 0});
+  two_way.ambiguous.push_back({"b.pick", 2, 1, 0});
+  const std::uint64_t fp1 = explore::guided_fingerprint(two_way, 1);
+  for (std::uint64_t seed = 2; seed <= 16; ++seed) {
+    EXPECT_EQ(explore::guided_fingerprint(two_way, seed), fp1)
+        << "all-two-way guidance must collapse every seed to one fingerprint";
+  }
+
+  explore::StaticGuidance three_way = two_way;
+  three_way.ambiguous.push_back({"c.pick", 3, 2, 1});
+  bool differs = false;
+  const std::uint64_t first = explore::guided_fingerprint(three_way, 1);
+  for (std::uint64_t seed = 2; seed <= 16 && !differs; ++seed) {
+    differs = explore::guided_fingerprint(three_way, seed) != first;
+  }
+  EXPECT_TRUE(differs) << "a 3-way site must spread fingerprints over seeds";
+}
+
+// ---------------------------------------------------------------------------
+// The commstat engine on hand-written models.
+
+TEST(Commstat, HiddenModelYieldsTheTwoPickSites) {
+  const CommstatResult r =
+      sast::analyze_comm_source(apps::hidden_race_model_source());
+  ASSERT_EQ(r.guidance.ambiguous.size(), 2u);
+  EXPECT_EQ(r.guidance.ambiguous[0].site, "hidden.pick");
+  EXPECT_EQ(r.guidance.ambiguous[0].alternatives, 2u);
+  EXPECT_EQ(r.guidance.ambiguous[1].site, "hidden.pick2");
+  EXPECT_EQ(r.guidance.ambiguous[1].alternatives, 2u);
+  EXPECT_FALSE(r.guidance.ordered.empty());
+  // The model is a complete, deadlock-free communication pattern.
+  EXPECT_FALSE(has_definite_blocking_finding(r));
+  bool checked_three = false;
+  for (int n : r.universes) checked_three |= n == 3;
+  EXPECT_TRUE(checked_three) << "guards name rank 2, so N=3 must be checked";
+}
+
+TEST(Commstat, HeadToHeadBlockingRecvsAreADefiniteDeadlock) {
+  const char* src = R"(#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Recv(&a, 1, MPI_INT, 1, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&a, 1, MPI_INT, 1, 3, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    MPI_Recv(&a, 1, MPI_INT, 0, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    MPI_Send(&a, 1, MPI_INT, 0, 3, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+  const CommstatResult r = sast::analyze_comm_source(src);
+  EXPECT_TRUE(has_warning(r, WarningClass::kDeadlock, Severity::kDefinite))
+      << r.to_string();
+  // Deadlock warnings carry a witness.
+  ASSERT_FALSE(r.witnesses.empty());
+  EXPECT_FALSE(r.witnesses[0].description.empty());
+}
+
+TEST(Commstat, EagerSendsBeforeRecvsDoNotDeadlock) {
+  const char* src = R"(#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Send(&a, 1, MPI_INT, 1, 3, MPI_COMM_WORLD);
+    MPI_Recv(&a, 1, MPI_INT, 1, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  if (rank == 1) {
+    MPI_Send(&a, 1, MPI_INT, 0, 3, MPI_COMM_WORLD);
+    MPI_Recv(&a, 1, MPI_INT, 0, 3, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+  const CommstatResult r = sast::analyze_comm_source(src);
+  EXPECT_TRUE(r.warnings.empty()) << r.to_string();
+}
+
+TEST(Commstat, UnmatchedSendIsFlaggedDefinite) {
+  const char* src = R"(#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Send(&a, 1, MPI_INT, 1, 3, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+  const CommstatResult r = sast::analyze_comm_source(src);
+  EXPECT_TRUE(has_warning(r, WarningClass::kUnmatchedSend, Severity::kDefinite))
+      << r.to_string();
+  EXPECT_FALSE(has_warning(r, WarningClass::kDeadlock, Severity::kDefinite));
+}
+
+TEST(Commstat, RingShiftPatternMatchesCleanly) {
+  const char* src = R"(#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  MPI_Send(&a, 1, MPI_INT, (rank + 1) % size, 4, MPI_COMM_WORLD);
+  MPI_Recv(&a, 1, MPI_INT, (rank - 1 + size) % size, 4, MPI_COMM_WORLD,
+           MPI_STATUS_IGNORE);
+  MPI_Finalize();
+  return 0;
+}
+)";
+  const CommstatResult r = sast::analyze_comm_source(src);
+  EXPECT_TRUE(r.warnings.empty()) << r.to_string();
+}
+
+TEST(Commstat, CollectiveSkewIsADefiniteFinding) {
+  const char* src = R"(#include <mpi.h>
+int main() {
+  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}
+)";
+  const CommstatResult r = sast::analyze_comm_source(src);
+  EXPECT_TRUE(has_definite_blocking_finding(r)) << r.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized static/dynamic consistency (the ISSUE-8 test satellite).
+//
+// A program spec is a per-rank list of sends / (possibly wildcard) receives /
+// barriers.  Each spec is rendered to hybrid C for the static engine and
+// interpreted over simmpi for the dynamic sweep; the two must agree:
+//
+//   * a kDefinite blocking verdict (deadlock, never-matched receive,
+//     collective skew) holds on EVERY abstract branch, so the uncontrolled
+//     dynamic baseline run must also get stuck (surface TimeoutErrors);
+//   * a statically clean program (no warnings at all) must never produce a
+//     dynamic run error on any explored schedule.
+
+struct SpecOp {
+  enum Kind { kSend, kRecv, kRecvAny, kBarrier } kind = kSend;
+  int peer = 0;
+  int tag = 0;
+  std::string label;
+};
+
+struct Spec {
+  int nranks = 2;
+  std::vector<std::vector<SpecOp>> ops;  ///< per rank.
+};
+
+Spec random_spec(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Spec spec;
+  spec.nranks = 2 + static_cast<int>(rng.next_below(2));
+  spec.ops.resize(static_cast<std::size_t>(spec.nranks));
+  int label_id = 0;
+  auto label = [&](const char* what, int rank) {
+    return "spec.r" + std::to_string(rank) + "." + what + "." +
+           std::to_string(label_id++);
+  };
+  const std::size_t messages = 2 + rng.next_below(4);
+  for (std::size_t m = 0; m < messages; ++m) {
+    const int src = static_cast<int>(rng.next_below(spec.nranks));
+    int dst = static_cast<int>(rng.next_below(spec.nranks));
+    if (dst == src) dst = (dst + 1) % spec.nranks;
+    const int tag = static_cast<int>(rng.next_below(3));
+    const std::uint64_t shape = rng.next_below(8);
+    if (shape != 0) {  // 7/8: emit the send.
+      spec.ops[static_cast<std::size_t>(src)].push_back(
+          {SpecOp::kSend, dst, tag, label("send", src)});
+    }
+    if (shape != 1) {  // 7/8: emit the receive (1/4 of them wildcard).
+      const bool any = rng.next_below(4) == 0;
+      spec.ops[static_cast<std::size_t>(dst)].push_back(
+          {any ? SpecOp::kRecvAny : SpecOp::kRecv, src, tag,
+           label("recv", dst)});
+    }
+  }
+  if (rng.next_below(2) == 0) {
+    // A barrier — occasionally skewed (one rank skips it).
+    const bool skew = rng.next_below(4) == 0;
+    const int skip = static_cast<int>(rng.next_below(spec.nranks));
+    for (int r = 0; r < spec.nranks; ++r) {
+      if (skew && r == skip) continue;
+      spec.ops[static_cast<std::size_t>(r)].push_back(
+          {SpecOp::kBarrier, 0, 0, label("barrier", r)});
+    }
+  }
+  return spec;
+}
+
+std::string render_c(const Spec& spec) {
+  std::string out =
+      "#include <mpi.h>\n"
+      "int main() {\n"
+      "  MPI_Init_thread(0, 0, MPI_THREAD_MULTIPLE, &provided);\n"
+      "  MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n";
+  for (int r = 0; r < spec.nranks; ++r) {
+    out += "  if (rank == " + std::to_string(r) + ") {\n";
+    for (const SpecOp& op : spec.ops[static_cast<std::size_t>(r)]) {
+      out += "    HOME_SITE(\"" + op.label + "\");\n";
+      switch (op.kind) {
+        case SpecOp::kSend:
+          out += "    MPI_Send(&a, 1, MPI_INT, " + std::to_string(op.peer) +
+                 ", " + std::to_string(op.tag) + ", MPI_COMM_WORLD);\n";
+          break;
+        case SpecOp::kRecv:
+          out += "    MPI_Recv(&a, 1, MPI_INT, " + std::to_string(op.peer) +
+                 ", " + std::to_string(op.tag) +
+                 ", MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n";
+          break;
+        case SpecOp::kRecvAny:
+          out += "    MPI_Recv(&a, 1, MPI_INT, MPI_ANY_SOURCE, " +
+                 std::to_string(op.tag) +
+                 ", MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n";
+          break;
+        case SpecOp::kBarrier:
+          out += "    MPI_Barrier(MPI_COMM_WORLD);\n";
+          break;
+      }
+    }
+    out += "  }\n";
+  }
+  out += "  MPI_Finalize();\n  return 0;\n}\n";
+  return out;
+}
+
+explore::SweepResult sweep_spec(const Spec& spec, int schedules) {
+  explore::SweepConfig cfg;
+  cfg.nranks = spec.nranks;
+  cfg.nthreads = 1;
+  cfg.schedules = schedules;
+  cfg.strategy = explore::StrategyKind::kWildcardReorder;
+  cfg.block_timeout_ms = 250;  // deadlocks surface as TimeoutErrors fast.
+  const Spec* sp = &spec;
+  return explore::Sweeper(cfg).run([sp](simmpi::Process& p) {
+    p.init_thread(simmpi::ThreadLevel::kMultiple, {"spec.init"});
+    int a = 0;
+    for (const SpecOp& op : sp->ops[static_cast<std::size_t>(p.rank())]) {
+      switch (op.kind) {
+        case SpecOp::kSend:
+          p.send(&a, 1, simmpi::Datatype::kInt, op.peer, op.tag,
+                 simmpi::kCommWorld, {op.label.c_str()});
+          break;
+        case SpecOp::kRecv:
+          p.recv(&a, 1, simmpi::Datatype::kInt, op.peer, op.tag,
+                 simmpi::kCommWorld, nullptr, {op.label.c_str()});
+          break;
+        case SpecOp::kRecvAny:
+          p.recv(&a, 1, simmpi::Datatype::kInt, simmpi::kAnySource, op.tag,
+                 simmpi::kCommWorld, nullptr, {op.label.c_str()});
+          break;
+        case SpecOp::kBarrier:
+          p.barrier(simmpi::kCommWorld, {op.label.c_str()});
+          break;
+      }
+    }
+    p.finalize({"spec.fin"});
+  });
+}
+
+bool baseline_errored(const explore::SweepResult& result) {
+  for (const std::string& err : result.run_errors) {
+    if (err.rfind("schedule -1:", 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(Commstat, RandomSpecsStaticVerdictsAreNeverDynamicallyRefuted) {
+  int definite_blocking = 0;
+  int statically_clean = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Spec spec = random_spec(seed);
+    CommstatOptions opt;
+    opt.universes = {spec.nranks};
+    const CommstatResult st = sast::analyze_comm_source(render_c(spec), opt);
+
+    const bool expect_stuck = has_definite_blocking_finding(st);
+    const bool expect_clean = st.warnings.empty();
+    if (!expect_stuck && !expect_clean) continue;  // kPossible-only: no claim.
+
+    const explore::SweepResult dyn = sweep_spec(spec, /*schedules=*/3);
+    if (expect_stuck) {
+      ++definite_blocking;
+      EXPECT_TRUE(baseline_errored(dyn))
+          << "seed " << seed << ": static kDefinite blocking verdict refuted "
+          << "by a clean dynamic baseline\n"
+          << render_c(spec) << st.to_string();
+    } else {
+      ++statically_clean;
+      EXPECT_TRUE(dyn.run_errors.empty())
+          << "seed " << seed << ": statically clean spec errored dynamically\n"
+          << render_c(spec) << dyn.run_errors[0];
+    }
+  }
+  // The generator must actually exercise both sides of the contract.
+  EXPECT_GE(definite_blocking, 3) << "generator produced too few deadlocks";
+  EXPECT_GE(statically_clean, 3) << "generator produced too few clean specs";
+}
+
+}  // namespace

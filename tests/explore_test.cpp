@@ -289,5 +289,89 @@ TEST(Sweep, RandomWalkAlsoFindsHiddenViolation) {
   EXPECT_TRUE(found) << result.to_string();
 }
 
+// --------------------------------------- Guided exploration (ISSUE-8)
+
+// The hidden app's guidance, as src/sast/commstat derives it from the
+// static model: two two-way wildcard pick sites, one per round.  Built by
+// hand here so this binary doesn't need the static engine; the derivation
+// itself is covered by commstat_test.
+std::shared_ptr<const StaticGuidance> hidden_guidance() {
+  auto g = std::make_shared<StaticGuidance>();
+  AmbiguousSite pick;
+  pick.site = "hidden.pick";
+  pick.alternatives = 2;
+  pick.occurrences = 1;
+  g->ambiguous.push_back(pick);
+  pick.site = "hidden.pick2";
+  g->ambiguous.push_back(pick);
+  OrderedPair ordered;
+  ordered.before = "hidden.send_low";
+  ordered.after = "hidden.send_high";
+  ordered.why = "program-order(rank 1)";
+  g->ordered.push_back(ordered);
+  return g;
+}
+
+TEST(Strategy, GuidedPerturbsOnlyStaticallyAmbiguousSites) {
+  const auto guidance = hidden_guidance();
+  const auto s = make_strategy(StrategyKind::kGuided, 11, {}, guidance);
+
+  // Guided injects no delays: ordering pressure comes from picks alone.
+  YieldContext y;
+  y.kind = HookKind::kMpiCall;
+  y.site = "hidden.pick";
+  y.in_parallel = true;
+  EXPECT_EQ(s->on_yield(y), 0u);
+
+  // A flagged two-way site always takes the non-default alternative; the
+  // baseline run already covered arrival order.
+  PickContext flagged;
+  flagged.kind = HookKind::kWildcardPick;
+  flagged.site = "hidden.pick";
+  flagged.n_eligible = 2;
+  EXPECT_EQ(s->on_pick(flagged), 1u);
+
+  // A site the static analysis never flagged keeps the default.
+  PickContext unflagged = flagged;
+  unflagged.site = "mailbox.unflagged";
+  EXPECT_EQ(s->on_pick(unflagged), 0u);
+
+  // Deterministic in the seed, and two-way picks are seed-independent —
+  // the invariant the Sweeper's fingerprint pruning rests on.
+  for (const std::uint64_t seed : {11u, 12u, 99u}) {
+    const auto again = make_strategy(StrategyKind::kGuided, seed, {}, guidance);
+    EXPECT_EQ(again->on_pick(flagged), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Sweep, GuidedFindsHiddenOnFirstScheduleAndPrunesTheRest) {
+  // Both of the hidden app's pick sites are two-way, so every guided seed
+  // makes the same (flipped) picks: schedule 0 reaches V3 and all later
+  // seeds share its fingerprint and are pruned without running.
+  SweepConfig cfg = hidden_config(StrategyKind::kGuided, 8);
+  cfg.guidance = hidden_guidance();
+  const SweepResult result = Sweeper(cfg).run(hidden_main());
+
+  const SweepFinding* hidden = nullptr;
+  for (const SweepFinding& f : result.findings) {
+    if (f.key == kHiddenKey) hidden = &f;
+  }
+  ASSERT_NE(hidden, nullptr) << result.to_string();
+  EXPECT_EQ(hidden->schedule_index, 0);
+  EXPECT_EQ(result.first_new_schedule, 0);
+  EXPECT_EQ(result.schedules_run, 2) << "baseline + schedule 0 only";
+  ASSERT_EQ(result.pruned.size(), 7u) << result.to_string();
+  for (const PrunedSchedule& p : result.pruned) {
+    EXPECT_NE(p.reason.find("fingerprint"), std::string::npos) << p.reason;
+  }
+  // Pruned schedules still pad the coverage curve: baseline + 8 schedules.
+  EXPECT_EQ(result.coverage_curve.size(), 9u);
+
+  // The finding replays like any other schedule's.
+  Sweeper sweeper(cfg);
+  EXPECT_EQ(sweeper.replay(hidden->schedule, hidden_main()).count(kHiddenKey),
+            1u);
+}
+
 }  // namespace
 }  // namespace home::explore

@@ -300,10 +300,10 @@ TEST(IncrementalHbTest, StampsMatchPostMortemReplay) {
     IncrementalHb inc(cfg);
     for (std::size_t i = 0; i < events.size(); ++i) {
       const detect::StampView view = inc.advance(events[i]);
-      ASSERT_TRUE(view.to_clock() == hb.stamp(i))
+      ASSERT_TRUE(view.to_clock() == hb.stamp_clock(i))
           << "seed=" << seed << " event " << i;
       // The epoch face of the view is the stamp's own component.
-      ASSERT_EQ(view.value, hb.stamp(i).get(events[i].tid))
+      ASSERT_EQ(view.value, hb.stamp_get(i, events[i].tid))
           << "seed=" << seed << " event " << i;
     }
   }
