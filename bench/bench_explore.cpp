@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
                .field("hook_hits", static_cast<std::size_t>(sweep.hook_hits)));
 
   // ------------------------------------------- finding + replay fidelity
-  const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv";
+  const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv|comm1";
   const explore::SweepFinding* finding = nullptr;
   for (const explore::SweepFinding& f : sweep.findings) {
     if (f.key == kHiddenKey) finding = &f;

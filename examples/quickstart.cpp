@@ -8,6 +8,7 @@
 //
 //   ./quickstart [--nranks=2] [--nthreads=2]
 //                [--trace-out=trace.json] [--telemetry-json=telemetry.json]
+//                [--prom-out=metrics.prom]
 #include <cstdio>
 #include <string>
 
@@ -76,6 +77,19 @@ int main(int argc, char** argv) {
   if (!telemetry_out.empty()) {
     home::obs::write_telemetry_json(telemetry_out);
     std::printf("wrote telemetry snapshot to %s\n", telemetry_out.c_str());
+  }
+  const std::string prom_out = flags.get("prom-out", "");
+  if (!prom_out.empty()) {
+    const std::string text = home::obs::prometheus_text();
+    std::string error;
+    if (!home::obs::check_prometheus_text(text, &error)) {
+      std::fprintf(stderr, "quickstart: invalid prometheus exposition: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    home::obs::write_json_file(prom_out, text);  // plain text + newline.
+    std::printf("wrote prometheus exposition to %s (validated)\n",
+                prom_out.c_str());
   }
 
   const bool ok = !buggy.report.clean() && fixed.report.clean();

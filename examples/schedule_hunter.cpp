@@ -9,14 +9,24 @@
 //                     [--seed-base=1] [--schedule-dir=DIR]
 //                     [--guidance=FILE] [--stop-on-first]
 //                     [--expect-violation] [--no-replay-check]
+//                     [--explain] [--paranoid] [--provenance-out=FILE]
+//                     [--minimize] [--min-schedule-out=DIR]
+//
+// Provenance: --explain prints each finding's explanation certificate
+// (causal HB witness chains); --paranoid re-verifies every certificate via
+// the independent replay oracle and fails the run on any mismatch;
+// --minimize ddmin-minimizes each finding's schedule (--min-schedule-out
+// saves the minimized logs; implies --minimize); --provenance-out writes
+// the certificates as provenance JSON.
 //
 // --strategy=guided uses static guidance: --guidance loads a StaticGuidance
 // file (static_analyzer_cli --emit-guidance); without one, --app=hidden
 // derives guidance from the app's built-in static model (src/sast/commstat).
 //
-// Exit codes: 0 ok; 1 a replay failed to reproduce its finding, or
-// --expect-violation was given but the sweep found nothing beyond the
-// baseline; 2 usage error.
+// Exit codes: 0 ok; 1 a replay failed to reproduce its finding, a
+// certificate failed paranoid verification, a minimized schedule failed to
+// reproduce, or --expect-violation was given but the sweep found nothing
+// beyond the baseline; 2 usage error.
 #include <cstdio>
 #include <memory>
 #include <set>
@@ -24,6 +34,7 @@
 
 #include "src/apps/app.hpp"
 #include "src/apps/hidden_race.hpp"
+#include "src/diagnose/provenance.hpp"
 #include "src/explore/guidance.hpp"
 #include "src/explore/sweeper.hpp"
 #include "src/sast/commstat.hpp"
@@ -45,6 +56,13 @@ int main(int argc, char** argv) {
   cfg.base_seed = static_cast<std::uint64_t>(flags.get_int("seed-base", 1));
   cfg.schedule_dir = flags.get("schedule-dir", "");
   cfg.stop_on_first_new = flags.get_bool("stop-on-first", false);
+  cfg.diagnose.enabled = flags.get_bool("explain", false) ||
+                         flags.get_bool("paranoid", false) ||
+                         !flags.get("provenance-out", "").empty();
+  cfg.diagnose.paranoid = flags.get_bool("paranoid", false);
+  cfg.min_schedule_dir = flags.get("min-schedule-out", "");
+  cfg.minimize =
+      flags.get_bool("minimize", false) || !cfg.min_schedule_dir.empty();
   if (!explore::parse_strategy_kind(flags.get("strategy", "wildcard"),
                                     &cfg.strategy)) {
     std::fprintf(stderr,
@@ -101,10 +119,50 @@ int main(int argc, char** argv) {
   }
 
   // Each failure mode is tracked separately so a replay failure cannot be
-  // masked by a satisfied --expect-violation (and vice versa); either one
+  // masked by a satisfied --expect-violation (and vice versa); any one
   // makes the exit code non-zero.
   int replay_failures = 0;
   bool expectation_failed = false;
+  int minimize_failures = 0;
+  const int certificate_failures =
+      static_cast<int>(result.certificate_failures.size());
+
+  if (cfg.diagnose.enabled) {
+    diagnose::ProvenanceReport provenance;
+    provenance.paranoid = cfg.diagnose.paranoid;
+    provenance.verified = result.certificates_verified;
+    provenance.verify_failures = result.certificate_failures;
+    for (const explore::SweepFinding& f : result.findings) {
+      if (f.certificate) provenance.certificates.push_back(*f.certificate);
+    }
+    if (flags.get_bool("explain", false) || cfg.diagnose.paranoid) {
+      std::printf("%s", provenance.to_string().c_str());
+    }
+    const std::string out = flags.get("provenance-out", "");
+    if (!out.empty()) {
+      diagnose::write_provenance_json(out, provenance);
+      std::printf("provenance written to %s\n", out.c_str());
+    }
+    if (certificate_failures > 0) {
+      std::fprintf(stderr, "%d certificate(s) failed paranoid verification\n",
+                   certificate_failures);
+    }
+  }
+
+  if (cfg.minimize) {
+    // Every exploration-only finding's minimized schedule must itself have
+    // replayed to the same violation key during ddmin.
+    for (const explore::SweepFinding& f : result.findings) {
+      if (f.schedule_index < 0 || f.in_baseline || f.schedule.empty()) continue;
+      if (!f.minimized_verified) ++minimize_failures;
+    }
+    if (minimize_failures > 0) {
+      std::fprintf(stderr,
+                   "%d minimized schedule(s) failed to reproduce their "
+                   "finding\n",
+                   minimize_failures);
+    }
+  }
 
   if (flags.get_bool("replay-check", true)) {
     // Determinism gate: every exploration-only finding's schedule must
@@ -133,5 +191,8 @@ int main(int argc, char** argv) {
     expectation_failed = true;
   }
 
-  return (replay_failures > 0 || expectation_failed) ? 1 : 0;
+  return (replay_failures > 0 || expectation_failed ||
+          certificate_failures > 0 || minimize_failures > 0)
+             ? 1
+             : 0;
 }

@@ -7,6 +7,13 @@
 //                            [--guidance=FILE] [--stop-on-first]
 //   Replay:        ./toolrun --app=hidden --replay=schedules/seed5.schedule
 //
+// Provenance (single runs with --tool=home, and exploration):
+//   --explain             print the explanation certificate of every finding
+//   --paranoid            re-verify each certificate (implies --explain)
+//   --provenance-out=FILE write certificates as provenance JSON
+//   --min-schedule-out=DIR ddmin-minimize each finding's schedule into DIR
+//                          (exploration only; directory must exist)
+//
 // --strategy=guided uses the static-guidance strategy; --guidance loads the
 // StaticGuidance file (static_analyzer_cli --emit-guidance), enabling the
 // sweeper's fingerprint pruning with surfaced reasons.  For --app=hidden
@@ -41,6 +48,51 @@ struct AppChoice {
   int nthreads = 2;
   explore::Sweeper::RankMain rank_main;
 };
+
+bool diagnose_requested(const util::Flags& flags) {
+  return flags.get_bool("explain", false) || flags.get_bool("paranoid", false) ||
+         !flags.get("provenance-out", "").empty();
+}
+
+void apply_diagnose_flags(const util::Flags& flags, explore::SweepConfig* cfg) {
+  cfg->diagnose.enabled = diagnose_requested(flags);
+  cfg->diagnose.paranoid = flags.get_bool("paranoid", false);
+  const std::string min_dir = flags.get("min-schedule-out", "");
+  if (!min_dir.empty()) {
+    cfg->minimize = true;
+    cfg->min_schedule_dir = min_dir;
+  }
+}
+
+/// Fold the sweep's per-finding certificates into one report for
+/// provenance.json / --explain printing.
+diagnose::ProvenanceReport sweep_provenance(const util::Flags& flags,
+                                            const explore::SweepResult& result) {
+  diagnose::ProvenanceReport report;
+  report.paranoid = flags.get_bool("paranoid", false);
+  report.verified = result.certificates_verified;
+  report.verify_failures = result.certificate_failures;
+  for (const explore::SweepFinding& f : result.findings) {
+    if (f.certificate) report.certificates.push_back(*f.certificate);
+  }
+  return report;
+}
+
+/// Shared tail for every mode: print certificates under --explain, write
+/// --provenance-out, and fail the run on paranoid verification failures.
+int finish_provenance(const util::Flags& flags,
+                      const diagnose::ProvenanceReport& report) {
+  if (!diagnose_requested(flags)) return 0;
+  if (flags.get_bool("explain", false) || flags.get_bool("paranoid", false)) {
+    std::printf("%s", report.to_string().c_str());
+  }
+  const std::string out = flags.get("provenance-out", "");
+  if (!out.empty()) {
+    diagnose::write_provenance_json(out, report);
+    std::printf("provenance written to %s\n", out.c_str());
+  }
+  return report.verify_failures.empty() ? 0 : 1;
+}
 
 bool make_app(const util::Flags& flags, AppChoice* out) {
   out->name = flags.get("app", "lu");
@@ -83,10 +135,11 @@ int run_single(const util::Flags& flags) {
     cfg.nranks = choice.nranks;
     cfg.nthreads = choice.nthreads;
     cfg.schedules = 0;
+    apply_diagnose_flags(flags, &cfg);
     const explore::SweepResult result =
         explore::Sweeper(cfg).run(choice.rank_main);
     std::printf("%s", result.to_string().c_str());
-    return 0;
+    return finish_provenance(flags, sweep_provenance(flags, result));
   }
 
   apps::Tool tool = apps::Tool::kHome;
@@ -115,12 +168,19 @@ int run_single(const util::Flags& flags) {
                                                  choice.nthreads)
                             : apps::paper_config(kind, choice.nranks,
                                                  choice.nthreads);
-  const apps::ToolRunResult result = apps::run_with_tool(tool, cfg);
+  SessionConfig scfg;
+  scfg.diagnose.enabled = diagnose_requested(flags);
+  scfg.diagnose.paranoid = flags.get_bool("paranoid", false);
+  if (scfg.diagnose.enabled && tool != apps::Tool::kHome) {
+    std::fprintf(stderr, "--explain/--paranoid requires --tool=home\n");
+    return 2;
+  }
+  const apps::ToolRunResult result = apps::run_with_tool(tool, cfg, scfg);
   std::printf("app=%s tool=%s run=%.3fs analysis=%.3fs\n", app.c_str(),
               apps::tool_name(tool), result.run_seconds,
               result.analysis_seconds);
   std::printf("%s", result.report.to_string().c_str());
-  return 0;
+  return finish_provenance(flags, result.provenance);
 }
 
 int run_explore(const util::Flags& flags, int schedules) {
@@ -142,6 +202,7 @@ int run_explore(const util::Flags& flags, int schedules) {
     return 2;
   }
   cfg.stop_on_first_new = flags.get_bool("stop-on-first", false);
+  apply_diagnose_flags(flags, &cfg);
 
   const std::string guidance_path = flags.get("guidance", "");
   if (!guidance_path.empty()) {
@@ -170,7 +231,7 @@ int run_explore(const util::Flags& flags, int schedules) {
   for (const std::string& err : result.run_errors) {
     std::fprintf(stderr, "run error: %s\n", err.c_str());
   }
-  return 0;
+  return finish_provenance(flags, sweep_provenance(flags, result));
 }
 
 int run_replay(const util::Flags& flags, const std::string& path) {

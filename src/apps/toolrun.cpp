@@ -41,9 +41,9 @@ ToolRunResult run_base(const AppConfig& cfg) {
   return result;
 }
 
-ToolRunResult run_home(const AppConfig& cfg) {
+ToolRunResult run_home(const AppConfig& cfg, const SessionConfig& scfg) {
   ToolRunResult result;
-  Session session;
+  Session session(scfg);
   simmpi::UniverseConfig ucfg = universe_config(cfg);
   session.configure(ucfg);
   simmpi::Universe universe(ucfg);
@@ -60,6 +60,7 @@ ToolRunResult run_home(const AppConfig& cfg) {
   util::Stopwatch analysis;
   result.report = session.analyze();
   result.analysis_seconds = analysis.elapsed_seconds();
+  result.provenance = session.provenance();
   return result;
 }
 
@@ -100,9 +101,14 @@ ToolRunResult run_itc(const AppConfig& cfg) {
 }  // namespace
 
 ToolRunResult run_with_tool(Tool tool, const AppConfig& cfg) {
+  return run_with_tool(tool, cfg, SessionConfig{});
+}
+
+ToolRunResult run_with_tool(Tool tool, const AppConfig& cfg,
+                            const SessionConfig& session_cfg) {
   switch (tool) {
     case Tool::kBase: return run_base(cfg);
-    case Tool::kHome: return run_home(cfg);
+    case Tool::kHome: return run_home(cfg, session_cfg);
     case Tool::kMarmot: return run_marmot(cfg);
     case Tool::kItc: return run_itc(cfg);
   }

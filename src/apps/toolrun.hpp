@@ -8,6 +8,7 @@
 
 #include "src/apps/app.hpp"
 #include "src/home/report.hpp"
+#include "src/home/session.hpp"
 #include "src/simmpi/universe.hpp"
 
 namespace home::apps {
@@ -22,9 +23,15 @@ struct ToolRunResult {
   double analysis_seconds = 0.0;  ///< offline detection + matching time.
   Report report;                  ///< empty for kBase.
   simmpi::RunResult run;
+  /// Explanation certificates (kHome with session_cfg.diagnose.enabled only).
+  diagnose::ProvenanceReport provenance;
 };
 
 ToolRunResult run_with_tool(Tool tool, const AppConfig& cfg);
+/// As above with explicit HOME session knobs (diagnose, detector mode...).
+/// Only kHome consults `session_cfg`; the other tools ignore it.
+ToolRunResult run_with_tool(Tool tool, const AppConfig& cfg,
+                            const SessionConfig& session_cfg);
 
 /// Accuracy accounting for the paper's Section V.B table: how many of the
 /// six injected violation classes a tool reported, plus extra reports at the

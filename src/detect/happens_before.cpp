@@ -61,6 +61,16 @@ std::size_t HbIndex::index_of_seq(trace::Seq seq) const {
   return npos;
 }
 
+std::size_t HbIndex::knowledge_frontier(std::size_t dst, trace::Tid tid) const {
+  const std::uint64_t view = stamp_get(dst, tid);
+  if (view == 0) return npos;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].tid != tid) continue;
+    if (stamps_[i].tid == tid && stamps_[i].own == view) return i;
+  }
+  return npos;
+}
+
 bool is_potential_hb_race(const HbIndex& hb, std::size_t i, std::size_t j) {
   const trace::Event& a = hb.events()[i];
   const trace::Event& b = hb.events()[j];

@@ -81,6 +81,15 @@ class HbIndex {
   /// Find the index of the event with the given seq stamp (or npos).
   std::size_t index_of_seq(trace::Seq seq) const;
 
+  /// The knowledge frontier: the index of the last event of `tid` that
+  /// events()[dst] is HB-after — i.e. the unique event of `tid` whose own
+  /// stamp component equals stamp_get(dst, tid).  Uniqueness holds because
+  /// the HB replay bumps the issuing thread's own component at *every*
+  /// event, so per-thread own components are dense 1..n in seq order.
+  /// Returns npos when dst's view of `tid` is zero (never synchronized).
+  /// This is what anchors a diagnose:: witness chain.
+  std::size_t knowledge_frontier(std::size_t dst, trace::Tid tid) const;
+
   /// Resident bytes of the stamp store: inline FrameStamps plus each
   /// distinct interned frame counted once.
   std::size_t stamp_bytes() const;

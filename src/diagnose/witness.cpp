@@ -1,0 +1,295 @@
+#include "src/diagnose/witness.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace home::diagnose {
+
+namespace {
+
+/// Kinds the build loop must inspect beyond the per-thread bookkeeping.  The
+/// dominant kinds (memory accesses, MPI calls, region markers) take none of
+/// the switch below; one mask test keeps them on the fast path.
+constexpr std::uint32_t kind_bit(trace::EventKind k) {
+  return std::uint32_t{1} << static_cast<unsigned>(k);
+}
+constexpr std::uint32_t kSyncKinds =
+    kind_bit(trace::EventKind::kMsgSend) |
+    kind_bit(trace::EventKind::kMsgRecv) |
+    kind_bit(trace::EventKind::kThreadFork) |
+    kind_bit(trace::EventKind::kThreadJoin) |
+    kind_bit(trace::EventKind::kBarrier) |
+    kind_bit(trace::EventKind::kLockAcquire) |
+    kind_bit(trace::EventKind::kLockRelease);
+
+}  // namespace
+
+SyncGraph::SyncGraph(const std::vector<trace::Event>& events,
+                     const detect::HappensBeforeConfig& cfg)
+    : events_(&events) {
+  const std::size_t n = events.size();
+  constexpr std::uint32_t kNone32 = static_cast<std::uint32_t>(-1);
+
+  // Tids are small dense integers, so the per-thread walk state lives in
+  // tid-indexed vectors — the hot loop below runs once per event and a hash
+  // lookup per event would dominate the whole build.
+  std::vector<std::uint32_t> counts;   // events seen so far, per tid.
+  std::vector<std::uint32_t> last_of;  // latest event index, per tid.
+  std::vector<std::uint32_t> pending_fork;
+  std::unordered_map<trace::ObjId, std::vector<std::size_t>> sends;
+  std::unordered_map<trace::ObjId, std::vector<std::size_t>> releases;
+  // Barrier arrivals are collected flat and grouped after the walk (the
+  // fan-out needs every participant's next-event index, unknown until the
+  // whole trace has been walked) — a per-object accumulator map would pay a
+  // hash op plus vector churn on every arrival.
+  struct Arrival {
+    trace::ObjId obj;
+    std::uint32_t idx;
+    std::uint32_t size;  // e.aux: participant count closing the instance.
+  };
+  std::vector<Arrival> barrier_arrivals;
+  po_next_.assign(n, kNone32);
+  // Compact per-event tid copy: the CSR fill below re-walks the trace by
+  // tid, and rereading the (large) Event structs a second time would double
+  // the build's memory traffic.
+  std::vector<std::uint32_t> tid_of(n);
+
+  auto add = [&](std::size_t from, std::size_t to, EdgeKind kind) {
+    edges_.push_back(Edge{static_cast<std::uint32_t>(from),
+                          static_cast<std::uint32_t>(to), kind});
+  };
+  auto grow_tid = [&](std::size_t tid) {
+    if (tid >= counts.size()) {
+      counts.resize(tid + 1, 0);
+      last_of.resize(tid + 1, kNone32);
+      pending_fork.resize(tid + 1, kNone32);
+      tid_barriers_.resize(tid + 1);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Event& e = events[i];
+    grow_tid(e.tid);
+    tid_of[i] = e.tid;
+
+    // Program-order edges stay implicit in po_next_ — they are ~60% of all
+    // edges and materializing them would dominate both the build and the
+    // adjacency sort.
+    if (last_of[e.tid] != kNone32) {
+      po_next_[last_of[e.tid]] = static_cast<std::uint32_t>(i);
+    }
+    last_of[e.tid] = static_cast<std::uint32_t>(i);
+
+    // A fork targeting this thread resolves to its next event — which is
+    // this one (the parent clock was joined into the child at fork time, so
+    // every later child event is HB-after the fork).
+    if (pending_fork[e.tid] != kNone32) {
+      add(pending_fork[e.tid], i, EdgeKind::kFork);
+      pending_fork[e.tid] = kNone32;
+    }
+
+    if ((kind_bit(e.kind) & kSyncKinds) != 0) {
+      switch (e.kind) {
+        case trace::EventKind::kMsgSend:
+          if (cfg.message_edges) sends[e.obj].push_back(i);
+          break;
+        case trace::EventKind::kMsgRecv:
+          if (cfg.message_edges) {
+            // The message clock accumulates every send to this object, so
+            // all prior sends are edge sources.
+            for (std::size_t s : sends[e.obj]) add(s, i, EdgeKind::kMessage);
+          }
+          break;
+        case trace::EventKind::kThreadFork: {
+          const auto child = static_cast<trace::Tid>(e.obj);
+          grow_tid(child);
+          pending_fork[child] = static_cast<std::uint32_t>(i);
+          break;
+        }
+        case trace::EventKind::kThreadJoin: {
+          const auto child = static_cast<trace::Tid>(e.obj);
+          if (static_cast<std::size_t>(child) < last_of.size() &&
+              last_of[child] != kNone32 && last_of[child] != i) {
+            add(last_of[child], i, EdgeKind::kJoin);
+          }
+          break;
+        }
+        case trace::EventKind::kBarrier:
+          // In-thread position of the barrier event itself (counts is
+          // bumped below).
+          tid_barriers_[e.tid].push_back(counts[e.tid]);
+          barrier_arrivals.push_back(Arrival{
+              e.obj, static_cast<std::uint32_t>(i),
+              static_cast<std::uint32_t>(e.aux)});
+          break;
+        case trace::EventKind::kLockRelease:
+          if (cfg.lock_edges) releases[e.obj].push_back(i);
+          break;
+        case trace::EventKind::kLockAcquire:
+          if (cfg.lock_edges) {
+            for (std::size_t r : releases[e.obj]) add(r, i, EdgeKind::kLock);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    ++counts[e.tid];
+  }
+
+  // Per-thread position index (certificate endpoints read it instead of
+  // rescanning the trace), as a flat CSR: exclusive-prefix-sum the counts,
+  // then scatter event indices by tid.  Both fill passes touch only the
+  // compact tid_of array, and the CSR avoids a push_back (header load, size
+  // check, store-back) per event on the hot walk above.
+  tid_starts_.assign(counts.size() + 1, 0);
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    tid_starts_[t + 1] = tid_starts_[t] + counts[t];
+  }
+  tid_flat_.resize(n);
+  std::vector<std::uint32_t> cursor(tid_starts_.begin(),
+                                    tid_starts_.begin() + counts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    tid_flat_[cursor[tid_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  // Completed-barrier fan-out: arrival a -> next event of every *other*
+  // participant after its own arrival (the participant's own successor is
+  // already covered by program order).  Grouping: sort arrivals by (object,
+  // trace position), then each run of `size` arrivals of one object is a
+  // completed instance — matching the accumulate-then-reset semantics of
+  // IncrementalHb, where an object id is reused per instance.
+  // Arrivals are usually already grouped (one global barrier object, or
+  // phase-ordered objects) — skip the sort when a linear check confirms it.
+  const auto arrival_before = [](const Arrival& a, const Arrival& b) {
+    return a.obj != b.obj ? a.obj < b.obj : a.idx < b.idx;
+  };
+  if (!std::is_sorted(barrier_arrivals.begin(), barrier_arrivals.end(),
+                      arrival_before)) {
+    std::sort(barrier_arrivals.begin(), barrier_arrivals.end(),
+              arrival_before);
+  }
+  for (std::size_t lo = 0; lo < barrier_arrivals.size();) {
+    const trace::ObjId obj = barrier_arrivals[lo].obj;
+    const std::uint32_t size = barrier_arrivals[lo].size;
+    std::size_t hi = lo;
+    while (hi < barrier_arrivals.size() && barrier_arrivals[hi].obj == obj &&
+           hi - lo < size) {
+      ++hi;
+    }
+    if (size > 0 && hi - lo == size) {  // completed instance.
+      for (std::size_t a = lo; a < hi; ++a) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          if (a == b) continue;
+          const std::uint32_t succ = po_next_[barrier_arrivals[b].idx];
+          if (succ != kNone32) {
+            add(barrier_arrivals[a].idx, succ, EdgeKind::kBarrier);
+          }
+        }
+      }
+    }
+    lo = hi == lo ? lo + 1 : hi;
+  }
+
+  // Finalize the adjacency: the (sparse) sync edges must be grouped by
+  // source for the BFS's binary search — tie order within one source is
+  // irrelevant.  Sorting m << n edges beats building a dense per-event
+  // offset table, and barrier-dominated traces emit the fan-out already
+  // source-ordered, so a linear check usually skips the sort outright.
+  const auto by_from = [](const Edge& a, const Edge& b) {
+    return a.from < b.from;
+  };
+  if (!std::is_sorted(edges_.begin(), edges_.end(), by_from)) {
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.from != b.from ? a.from < b.from : a.to < b.to;
+              });
+  }
+  edge_bits_.assign((n + 63) / 64, 0);
+  for (const Edge& e : edges_) {
+    edge_bits_[e.from >> 6] |= std::uint64_t{1} << (e.from & 63);
+  }
+}
+
+std::vector<ChainLink> SyncGraph::shortest_chain(std::size_t from,
+                                                 std::size_t to) const {
+  std::vector<ChainLink> chain;
+  const std::size_t n = po_next_.size();
+  if (from >= n || to >= n || from >= to) return chain;
+
+  // Every edge satisfies from < to (program order is seq order; message,
+  // fork, join, barrier and lock edges all target later events), so only
+  // the [from, to] window can lie on a path.  BFS state is indexed relative
+  // to the window.
+  const std::size_t width = to - from + 1;
+  constexpr std::uint32_t kUnseen = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> parent(width, kUnseen);
+  std::vector<EdgeKind> via(width, EdgeKind::kProgramOrder);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(64);
+  parent[0] = 0;  // self-mark as visited.
+  queue.push_back(static_cast<std::uint32_t>(from));
+
+  constexpr std::uint32_t kNone32 = static_cast<std::uint32_t>(-1);
+  bool found = false;
+  for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+    const std::uint32_t cur = queue[head];
+    // The program-order successor is implicit (po_next_); CSR holds only the
+    // cross-thread sync edges.
+    auto relax = [&](std::uint32_t dst, EdgeKind kind) {
+      if (dst > to) return;  // outside the window: cannot reach `to`.
+      const std::size_t rel = dst - from;
+      if (parent[rel] != kUnseen) return;
+      parent[rel] = cur;
+      via[rel] = kind;
+      if (dst == to) {
+        found = true;
+        return;
+      }
+      queue.push_back(dst);
+    };
+    if (po_next_[cur] != kNone32) relax(po_next_[cur], EdgeKind::kProgramOrder);
+    if ((edge_bits_[cur >> 6] >> (cur & 63)) & 1) {
+      auto it = std::lower_bound(edges_.begin(), edges_.end(), cur,
+                                 [](const Edge& e, std::uint32_t v) {
+                                   return e.from < v;
+                                 });
+      for (; it != edges_.end() && it->from == cur && !found; ++it) {
+        relax(it->to, it->kind);
+      }
+    }
+    if (found) break;
+  }
+  if (parent[width - 1] == kUnseen) return chain;
+
+  for (std::size_t cur = to; cur != from; cur = parent[cur - from]) {
+    ChainLink link;
+    link.from = (*events_)[parent[cur - from]].seq;
+    link.to = (*events_)[cur].seq;
+    link.edge = via[cur - from];
+    chain.push_back(link);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+SyncGraph::TidEvents SyncGraph::events_of(trace::Tid tid) const {
+  const std::size_t t = static_cast<std::size_t>(tid);
+  if (t + 1 >= tid_starts_.size()) return {};
+  const std::size_t size = tid_starts_[t + 1] - tid_starts_[t];
+  if (size == 0) return {};
+  return TidEvents{tid_flat_.data() + tid_starts_[t], size};
+}
+
+std::uint64_t SyncGraph::barriers_before(trace::Tid tid,
+                                         std::size_t pos) const {
+  if (static_cast<std::size_t>(tid) >= tid_barriers_.size()) return 0;
+  const std::vector<std::uint32_t>& bars = tid_barriers_[tid];
+  // Barrier events at in-thread positions strictly before `pos`.
+  return static_cast<std::uint64_t>(
+      std::lower_bound(bars.begin(), bars.end(),
+                       static_cast<std::uint32_t>(pos)) -
+      bars.begin());
+}
+
+}  // namespace home::diagnose

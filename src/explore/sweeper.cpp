@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/diagnose/minimize.hpp"
+
 #include "src/homp/runtime.hpp"
 #include "src/obs/span.hpp"
 #include "src/obs/telemetry.hpp"
@@ -33,8 +35,25 @@ std::string SweepResult::to_string() const {
       os << "  [first seen: schedule " << f.schedule_index << ", seed "
          << f.seed << (f.in_baseline ? ", also in baseline" : "") << "]";
     }
+    if (f.certificate) os << " [certified]";
     if (!f.schedule_path.empty()) os << " -> " << f.schedule_path;
     os << "\n";
+    if (f.minimized_verified || !f.minimized.empty()) {
+      os << "    minimized: " << f.minimized.decisions.size()
+         << " decision(s) (from " << f.schedule.decisions.size() << ", "
+         << f.minimize_replays << " replay(s))"
+         << (f.minimized_verified ? ", replay-verified" : ", NOT verified");
+      if (!f.min_schedule_path.empty()) os << " -> " << f.min_schedule_path;
+      os << "\n";
+    }
+  }
+  if (certificates > 0 || !certificate_failures.empty()) {
+    os << "  certificates: " << certificates << " built, "
+       << certificates_verified << " verified, " << certificate_failures.size()
+       << " failed\n";
+    for (const std::string& f : certificate_failures) {
+      os << "    VERIFY FAILED: " << f << "\n";
+    }
   }
   if (!pruned.empty()) {
     os << "  pruned " << pruned.size() << " schedule(s) statically:\n";
@@ -50,11 +69,13 @@ std::string SweepResult::to_string() const {
 }
 
 Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
-                                      const RankMain& rank_main) {
+                                      const RankMain& rank_main,
+                                      bool with_diagnose) {
   RunOutcome outcome;
 
   SessionConfig scfg = cfg_.session;
   scfg.explore = opts;
+  if (with_diagnose) scfg.diagnose = cfg_.diagnose;
   Session session(scfg);
 
   simmpi::UniverseConfig ucfg;
@@ -80,6 +101,7 @@ Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
     outcome.signature = session.explorer()->order_signature();
     outcome.hook_hits = session.explorer()->hook_hits();
   }
+  if (with_diagnose) outcome.provenance = session.provenance();
   return outcome;
 }
 
@@ -93,6 +115,12 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
                       std::uint64_t seed) {
     ++result.schedules_run;
     result.hook_hits += outcome.hook_hits;
+    result.certificates += outcome.provenance.certificates.size();
+    result.certificates_verified += outcome.provenance.verified;
+    for (const std::string& fail : outcome.provenance.verify_failures) {
+      result.certificate_failures.push_back(
+          "schedule " + std::to_string(index) + ": " + fail);
+    }
     if (outcome.signature != 0) result.orderings.insert(outcome.signature);
     for (const std::string& err : outcome.errors) {
       result.run_errors.push_back("schedule " + std::to_string(index) + ": " +
@@ -117,6 +145,9 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
           if (!f.schedule.save(f.schedule_path)) f.schedule_path.clear();
         }
       }
+      if (const diagnose::Certificate* cert = outcome.provenance.find(key)) {
+        f.certificate = std::make_shared<diagnose::Certificate>(*cert);
+      }
       result.findings.push_back(std::move(f));
     }
     result.coverage_curve.push_back(seen.size());
@@ -125,7 +156,7 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
   if (cfg_.run_baseline) {
     Options off;
     off.enabled = false;
-    const RunOutcome baseline = run_once(off, rank_main);
+    const RunOutcome baseline = run_once(off, rank_main, true);
     result.baseline_keys = baseline.keys;
     note_run(baseline, -1, 0);
   }
@@ -164,7 +195,7 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
         continue;
       }
     }
-    const RunOutcome outcome = run_once(opts, rank_main);
+    const RunOutcome outcome = run_once(opts, rank_main, true);
     note_run(outcome, i, opts.seed);
     if (cfg_.stop_on_first_new && result.first_new_schedule >= 0) break;
   }
@@ -177,8 +208,43 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
     }
   }
 
+  if (cfg_.minimize) minimize_findings(result, rank_main);
+
   result.seconds = timer.elapsed_seconds();
   return result;
+}
+
+void Sweeper::minimize_findings(SweepResult& result,
+                                const RankMain& rank_main) {
+  obs::Span span("explore.minimize");
+  for (SweepFinding& f : result.findings) {
+    if (f.schedule_index < 0 || f.schedule.empty()) continue;
+    diagnose::MinimizeOptions mopts;
+    mopts.max_replays = cfg_.minimize_max_replays;
+    const diagnose::MinimizeResult min = diagnose::ddmin_schedule(
+        f.schedule,
+        [&](const Schedule& candidate) {
+          Options opts;
+          opts.enabled = true;
+          opts.seed = candidate.seed;
+          opts.replay = std::make_shared<Schedule>(candidate);
+          return run_once(opts, rank_main, false).keys.count(f.key) > 0;
+        },
+        mopts);
+    f.minimized = min.schedule;
+    f.minimized_verified = min.verified;
+    f.minimize_replays = min.replays;
+    result.minimize_replays += min.replays;
+    if (min.verified && !cfg_.min_schedule_dir.empty()) {
+      f.min_schedule_path = cfg_.min_schedule_dir + "/seed" +
+                            std::to_string(f.seed) + ".min.schedule";
+      if (!f.minimized.save(f.min_schedule_path)) f.min_schedule_path.clear();
+    }
+    if (f.certificate) {
+      f.certificate->minimized = f.minimized;
+      f.certificate->minimized_verified = f.minimized_verified;
+    }
+  }
 }
 
 std::set<std::string> Sweeper::replay(const Schedule& schedule,
@@ -187,7 +253,7 @@ std::set<std::string> Sweeper::replay(const Schedule& schedule,
   opts.enabled = true;
   opts.seed = schedule.seed;
   opts.replay = std::make_shared<Schedule>(schedule);
-  return run_once(opts, rank_main).keys;
+  return run_once(opts, rank_main, false).keys;
 }
 
 }  // namespace home::explore

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/diagnose/certificate.hpp"
+#include "src/diagnose/provenance.hpp"
 #include "src/explore/hooks.hpp"
 #include "src/explore/strategy.hpp"
 #include "src/home/session.hpp"
@@ -48,6 +50,16 @@ struct SweepConfig {
   /// Stop sweeping after the first exploration-exclusive finding (time-to-
   /// first-violation measurements).
   bool stop_on_first_new = false;
+  /// Violation provenance: build an explanation certificate for every
+  /// violation each run reports and attach it to the finding.
+  diagnose::Options diagnose;
+  /// ddmin-minimize the first-seen schedule of every exploration finding
+  /// (replay-driven: up to minimize_max_replays full controlled runs each).
+  bool minimize = false;
+  int minimize_max_replays = 48;
+  /// When nonempty, minimized schedules are saved as
+  /// <dir>/seed<seed>.min.schedule (directory must exist).
+  std::string min_schedule_dir;
 };
 
 /// One unique violation key and the earliest schedule that produced it.
@@ -58,6 +70,15 @@ struct SweepFinding {
   Schedule schedule;           ///< empty for baseline findings.
   std::string schedule_path;   ///< set when saved to schedule_dir.
   bool in_baseline = false;    ///< also reported by the uncontrolled run.
+  /// Explanation certificate from the first-seen run (SweepConfig::diagnose;
+  /// shared so SweepResult copies stay cheap).
+  std::shared_ptr<diagnose::Certificate> certificate;
+  /// ddmin results (SweepConfig::minimize; minimized is empty and verified
+  /// false until minimization ran and the replay reproduced `key`).
+  Schedule minimized;
+  bool minimized_verified = false;
+  int minimize_replays = 0;
+  std::string min_schedule_path;  ///< set when saved to min_schedule_dir.
 };
 
 /// A schedule the sweep skipped without running, with the static reason.
@@ -82,6 +103,11 @@ struct SweepResult {
   /// Index of the first schedule that surfaced an exploration-exclusive
   /// violation (-1 = none did).
   int first_new_schedule = -1;
+  // --- provenance aggregates (SweepConfig::diagnose / minimize) -----------
+  std::size_t certificates = 0;           ///< built across all runs.
+  std::size_t certificates_verified = 0;  ///< paranoid passes.
+  std::vector<std::string> certificate_failures;  ///< paranoid failures.
+  int minimize_replays = 0;               ///< replays spent by ddmin, total.
 
   /// Keys the sweep found that the baseline run did not.
   std::size_t new_vs_baseline() const;
@@ -108,9 +134,14 @@ class Sweeper {
     std::uint64_t signature = 0;
     std::uint64_t hook_hits = 0;
     std::vector<std::string> errors;
+    diagnose::ProvenanceReport provenance;
   };
 
-  RunOutcome run_once(const Options& opts, const RankMain& rank_main);
+  /// `with_diagnose` lets the minimization-replay oracle skip certificate
+  /// construction (a replay only needs the key set).
+  RunOutcome run_once(const Options& opts, const RankMain& rank_main,
+                      bool with_diagnose);
+  void minimize_findings(SweepResult& result, const RankMain& rank_main);
 
   SweepConfig cfg_;
 };

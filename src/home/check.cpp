@@ -27,6 +27,7 @@ CheckResult check_program(const CheckConfig& cfg,
   session.detach(universe);
   result.report = session.analyze();
   result.reconciliation = session.reconciliation();
+  result.provenance = session.provenance();
   if (session.online_analyzer() != nullptr) {
     result.online_stats = session.online_analyzer()->stats();
   }

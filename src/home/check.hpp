@@ -31,6 +31,8 @@ struct CheckResult {
   Reconciliation reconciliation;
   /// Streaming-engine statistics (meaningful only in AnalysisMode::kOnline).
   online::OnlineStats online_stats;
+  /// Explanation certificates (empty unless session.diagnose.enabled).
+  diagnose::ProvenanceReport provenance;
 };
 
 /// Run `rank_main` on nranks rank-threads under full HOME checking.

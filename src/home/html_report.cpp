@@ -105,10 +105,89 @@ void render_sites(std::ostringstream& os, const std::vector<std::string>& sites)
   }
 }
 
+void render_endpoint(std::ostringstream& os, const diagnose::Endpoint& ep,
+                     const char* label) {
+  os << "<tr><td>endpoint " << label << "</td><td><code>seq " << ep.seq
+     << "</code> tid " << ep.tid << " rank " << ep.rank;
+  if (!ep.mpi_call.empty()) os << " <code>" << html_escape(ep.mpi_call)
+                               << "</code>";
+  if (!ep.callsite.empty()) os << " @ <code>" << html_escape(ep.callsite)
+                               << "</code>";
+  os << " &middot; locks {";
+  for (std::size_t i = 0; i < ep.locks.size(); ++i) {
+    if (i) os << ",";
+    os << ep.locks[i];
+  }
+  os << "} &middot; barrier phase " << ep.barrier_phase
+     << " &middot; own clock " << ep.stamp_own << "</td></tr>\n";
+}
+
+void render_witness(std::ostringstream& os, const diagnose::NonOrderWitness& w,
+                    const char* dir) {
+  os << "<tr><td>witness " << dir << "</td><td>own(src)=" << w.src_own
+     << " &gt; view(dst)=" << w.dst_view;
+  if (w.dst_view == 0) {
+    os << " (never synchronized)</td></tr>\n";
+    return;
+  }
+  os << "; frontier <code>seq " << w.frontier << "</code>, chain:";
+  for (const diagnose::ChainLink& link : w.chain) {
+    os << " <code>" << link.from << "&rarr;" << link.to << "</code> <em>"
+       << diagnose::edge_kind_name(link.edge) << "</em>";
+  }
+  os << "</td></tr>\n";
+}
+
+// "Causal chain": one block per explanation certificate — the endpoints, the
+// non-ordering witnesses with their sync chains, and the minimized
+// reproduction schedule when exploration produced one.
+void render_provenance(std::ostringstream& os,
+                       const diagnose::ProvenanceReport& provenance) {
+  if (provenance.empty()) return;
+  os << "<h2>Causal chain</h2>\n";
+  if (provenance.paranoid) {
+    os << "<p class=\"stats\">" << provenance.certificates.size()
+       << " certificate(s), " << provenance.verified << " verified, "
+       << provenance.verify_failures.size() << " failed verification.</p>\n";
+  }
+  for (const diagnose::Certificate& cert : provenance.certificates) {
+    os << "<h3><code>" << html_escape(cert.key) << "</code></h3>\n";
+    os << "<p>" << html_escape(cert.violation.to_string()) << "</p>\n";
+    os << "<table>\n";
+    if (cert.e1.seq != 0) render_endpoint(os, cert.e1, "A");
+    if (cert.e2.seq != 0) render_endpoint(os, cert.e2, "B");
+    if (!cert.has_pair) {
+      os << "<tr><td>witness</td><td>single-endpoint violation class"
+         << "</td></tr>\n";
+    } else if (cert.hb_unordered) {
+      render_witness(os, cert.w12, "A&rarr;B");
+      render_witness(os, cert.w21, "B&rarr;A");
+      os << "<tr><td>locksets</td><td>"
+         << (cert.disjoint_locks ? "disjoint" : "overlapping")
+         << "</td></tr>\n";
+    } else {
+      os << "<tr><td>witness</td><td>endpoints are HB-ordered "
+         << "(ordering-rule violation class)</td></tr>\n";
+    }
+    if (!cert.causal_picks.empty()) {
+      os << "<tr><td>causal picks</td><td>" << cert.causal_picks.size()
+         << " scheduler decision(s) on the causal path</td></tr>\n";
+    }
+    if (!cert.minimized.empty() || cert.minimized_verified) {
+      os << "<tr><td>minimized schedule</td><td>"
+         << cert.minimized.decisions.size() << " decision(s)"
+         << (cert.minimized_verified ? ", replay-verified" : ", NOT verified")
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+}
+
 }  // namespace
 
 std::string render_html(const FinalReport& final_report, const ReportStats& stats,
-                        const std::string& title) {
+                        const std::string& title,
+                        const diagnose::ProvenanceReport* provenance) {
   std::ostringstream os;
   os << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>"
      << html_escape(title) << "</title>\n<style>\n"
@@ -155,6 +234,7 @@ std::string render_html(const FinalReport& final_report, const ReportStats& stat
     }
     os << "</table>\n";
   }
+  if (provenance != nullptr) render_provenance(os, *provenance);
   render_pipeline_health(os);
   os << "<p class=\"stats\">generated by HOME (CLUSTER'15 reproduction)</p>\n";
   os << "</body></html>\n";
@@ -162,10 +242,11 @@ std::string render_html(const FinalReport& final_report, const ReportStats& stat
 }
 
 void write_html_report(const std::string& path, const FinalReport& final_report,
-                       const ReportStats& stats, const std::string& title) {
+                       const ReportStats& stats, const std::string& title,
+                       const diagnose::ProvenanceReport* provenance) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
-  out << render_html(final_report, stats, title);
+  out << render_html(final_report, stats, title, provenance);
 }
 
 }  // namespace home

@@ -1,25 +1,30 @@
 // HTML rendering of the final report — toward the paper's future-work note
 // about presenting "more refined and precise static analysis results in GUI".
 // Produces a standalone page: a summary table of violation classes with
-// confirmation status, the per-finding static and dynamic callsites, and the
-// run statistics.
+// confirmation status, the per-finding static and dynamic callsites, the
+// run statistics, and — when a provenance report is supplied — a per-
+// violation "Causal chain" section rendering each explanation certificate.
 #pragma once
 
 #include <string>
 
+#include "src/diagnose/provenance.hpp"
 #include "src/home/final_report.hpp"
 #include "src/home/report.hpp"
 
 namespace home {
 
 /// Render the merged static+dynamic report as a standalone HTML page.
+/// `provenance` (may be null) adds the "Causal chain" section.
 std::string render_html(const FinalReport& final_report,
                         const ReportStats& stats,
-                        const std::string& title = "HOME thread-safety report");
+                        const std::string& title = "HOME thread-safety report",
+                        const diagnose::ProvenanceReport* provenance = nullptr);
 
 /// Convenience: render and write to a file.
 void write_html_report(const std::string& path, const FinalReport& final_report,
                        const ReportStats& stats,
-                       const std::string& title = "HOME thread-safety report");
+                       const std::string& title = "HOME thread-safety report",
+                       const diagnose::ProvenanceReport* provenance = nullptr);
 
 }  // namespace home

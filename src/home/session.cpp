@@ -23,6 +23,14 @@ detect::RaceDetectorConfig make_detector_config(const SessionConfig& cfg) {
   return dcfg;
 }
 
+detect::HappensBeforeConfig diagnose_hb_config(const SessionConfig& cfg) {
+  // Mirrors RaceDetector::analyze: only the pure-HB ablation treats
+  // release->acquire as an ordering edge.
+  detect::HappensBeforeConfig hb_cfg;
+  hb_cfg.lock_edges = (cfg.detector == detect::DetectorMode::kHbOnly);
+  return hb_cfg;
+}
+
 Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
   WrapperConfig wcfg;
   wcfg.filter = cfg_.filter;
@@ -132,6 +140,14 @@ Report Session::analyze() {
   std::vector<spec::Violation> violations = matcher.match(concurrency);
   mark_violations(violations);
 
+  if (cfg_.diagnose.enabled) {
+    const explore::Schedule schedule = recorded_schedule();
+    provenance_ = diagnose::diagnose_violations(
+        concurrency.hb(), violations, &log_.strings(),
+        diagnose_hb_config(cfg_), cfg_.diagnose,
+        explorer_ ? &schedule : nullptr);
+  }
+
   ReportStats stats;
   stats.trace_events = log_.size();
   stats.instrumented_calls = wrappers_->instrumented_calls();
@@ -157,33 +173,52 @@ Report Session::analyze_online() {
   std::vector<spec::Violation> violations = analyzer_->violations();
   const online::OnlineStats ostats = analyzer_->stats();
 
-  if (cfg_.online.reconcile && cfg_.online.retain_trace) {
-    // Cross-check: the post-mortem pipeline over the very same trace must
-    // agree with the streamed verdicts (violation_key identity).
+  // Both reconciliation and online provenance ride the same post-mortem
+  // pass over the retained trace (certificates need a full HB index, which
+  // the streaming engine retires incrementally).
+  if ((cfg_.online.reconcile || cfg_.diagnose.enabled) &&
+      cfg_.online.retain_trace) {
     detect::RaceDetector detector(make_detector_config(cfg_));
     detect::ConcurrencyReport concurrency =
         detector.analyze(log_.sorted_events());
     spec::Matcher matcher(&log_.strings());
     std::vector<spec::Violation> post_mortem = matcher.match(concurrency);
 
-    std::set<std::string> online_keys;
-    for (const spec::Violation& v : violations) {
-      online_keys.insert(spec::violation_key(v));
+    if (cfg_.online.reconcile) {
+      // Cross-check: the post-mortem pipeline over the very same trace must
+      // agree with the streamed verdicts (violation_key identity).
+      std::set<std::string> online_keys;
+      for (const spec::Violation& v : violations) {
+        online_keys.insert(spec::violation_key(v));
+      }
+      std::set<std::string> post_keys;
+      for (const spec::Violation& v : post_mortem) {
+        post_keys.insert(spec::violation_key(v));
+      }
+      reconciliation_ = Reconciliation{};
+      reconciliation_.ran = true;
+      for (const std::string& k : online_keys) {
+        if (post_keys.count(k) == 0) reconciliation_.online_only.push_back(k);
+      }
+      for (const std::string& k : post_keys) {
+        if (online_keys.count(k) == 0) {
+          reconciliation_.post_mortem_only.push_back(k);
+        }
+      }
+      reconciliation_.equivalent = reconciliation_.online_only.empty() &&
+                                   reconciliation_.post_mortem_only.empty();
     }
-    std::set<std::string> post_keys;
-    for (const spec::Violation& v : post_mortem) {
-      post_keys.insert(spec::violation_key(v));
+
+    if (cfg_.diagnose.enabled) {
+      // Diagnose the post-mortem violation list: keys agree with the online
+      // verdicts under reconciliation, and these records carry the call seqs
+      // the certificates anchor to.
+      const explore::Schedule schedule = recorded_schedule();
+      provenance_ = diagnose::diagnose_violations(
+          concurrency.hb(), post_mortem, &log_.strings(),
+          diagnose_hb_config(cfg_), cfg_.diagnose,
+          explorer_ ? &schedule : nullptr);
     }
-    reconciliation_ = Reconciliation{};
-    reconciliation_.ran = true;
-    for (const std::string& k : online_keys) {
-      if (post_keys.count(k) == 0) reconciliation_.online_only.push_back(k);
-    }
-    for (const std::string& k : post_keys) {
-      if (online_keys.count(k) == 0) reconciliation_.post_mortem_only.push_back(k);
-    }
-    reconciliation_.equivalent = reconciliation_.online_only.empty() &&
-                                 reconciliation_.post_mortem_only.empty();
   }
 
   ReportStats stats;

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "src/detect/race_detector.hpp"
+#include "src/diagnose/provenance.hpp"
 #include "src/explore/hooks.hpp"
 #include "src/explore/strategy.hpp"
 #include "src/home/report.hpp"
@@ -81,7 +82,15 @@ struct SessionConfig {
   /// Controlled scheduling: strategy-driven delays and matching picks at the
   /// runtime hook points, recorded as a replayable schedule (off by default).
   explore::Options explore;
+  /// Violation provenance: explanation certificates with causal HB witnesses
+  /// for every reported violation (off by default; `paranoid` additionally
+  /// re-verifies each certificate through the independent replay oracle).
+  diagnose::Options diagnose;
 };
+
+/// The HB configuration the detector's pipeline uses for a SessionConfig —
+/// certificate construction and verification must mirror it exactly.
+detect::HappensBeforeConfig diagnose_hb_config(const SessionConfig& cfg);
 
 /// The detector knobs a SessionConfig implies (shared by the live and the
 /// offline analysis paths).
@@ -111,6 +120,10 @@ class Session {
   /// Result of the online-vs-post-mortem cross-check (ran=false unless
   /// analyze() executed in online mode with reconcile+retain_trace).
   const Reconciliation& reconciliation() const { return reconciliation_; }
+
+  /// Explanation certificates for the last analyze() (empty unless
+  /// config().diagnose.enabled; online mode needs retain_trace).
+  const diagnose::ProvenanceReport& provenance() const { return provenance_; }
 
   /// The streaming engine (null in post-mortem mode or before configure()).
   online::OnlineAnalyzer* online_analyzer() { return analyzer_.get(); }
@@ -152,6 +165,7 @@ class Session {
   std::unique_ptr<online::OnlineAnalyzer> analyzer_;
   std::unique_ptr<explore::Explorer> explorer_;
   Reconciliation reconciliation_;
+  diagnose::ProvenanceReport provenance_;
   bool attached_ = false;
 };
 

@@ -14,8 +14,6 @@
 
 namespace home::obs {
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -37,6 +35,14 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+void write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open json file " + path);
+  out << json << "\n";
+}
+
+namespace {
 
 std::string fmt_double(double v) {
   char buf[64];
@@ -83,7 +89,20 @@ std::string chrome_trace_json() {
 
   for (const FinishedSpan& s : spans) {
     comma();
-    if (s.is_instant) {
+    if (s.flow_phase != 0) {
+      // Flow pair: "s" at the first endpoint, "f" (binding to its enclosing
+      // slice) at the second; matching name+cat+id draws the causal arrow.
+      os << "{\"ph\":\"" << s.flow_phase
+         << "\",\"cat\":\"provenance\",\"id\":" << s.flow_id
+         << ",\"pid\":1,\"tid\":" << s.display_tid << ",\"name\":\""
+         << json_escape(s.name)
+         << "\",\"ts\":" << fmt_double(ns_to_us(s.start_ns));
+      if (s.flow_phase == 'f') os << ",\"bp\":\"e\"";
+      if (!s.detail.empty()) {
+        os << ",\"args\":{\"detail\":\"" << json_escape(s.detail) << "\"}";
+      }
+      os << "}";
+    } else if (s.is_instant) {
       os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << s.display_tid
          << ",\"name\":\"" << json_escape(s.name)
          << "\",\"ts\":" << fmt_double(ns_to_us(s.start_ns));
@@ -103,9 +122,7 @@ std::string chrome_trace_json() {
 }
 
 void write_chrome_trace(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open trace file " + path);
-  out << chrome_trace_json() << "\n";
+  write_json_file(path, chrome_trace_json());
 }
 
 std::vector<SpanAggregate> aggregate_spans() {
@@ -134,7 +151,8 @@ std::vector<SpanAggregate> aggregate_spans() {
 std::string telemetry_json() {
   const std::vector<MetricRow> rows = Registry::global().snapshot();
   std::ostringstream os;
-  os << "{\"telemetry\":{\"enabled\":" << (enabled() ? "true" : "false");
+  os << "{\"telemetry\":{\"enabled\":" << (enabled() ? "true" : "false")
+     << ",\"spans_dropped\":" << spans_dropped();
 
   const auto emit_kind = [&](const char* key, MetricRow::Kind kind,
                              auto&& body) {
@@ -185,10 +203,47 @@ std::string telemetry_json() {
 }
 
 void write_telemetry_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open telemetry file " + path);
-  out << telemetry_json() << "\n";
+  write_json_file(path, telemetry_json());
 }
+
+namespace {
+
+/// HELP text escaping per the exposition format: only backslash and
+/// line feed are escaped in HELP lines.
+std::string prom_help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void prom_header(std::ostringstream& os, const std::string& name,
+                 const std::string& source, const char* type) {
+  os << "# HELP " << name << " "
+     << prom_help_escape("home metric " + source) << "\n"
+     << "# TYPE " << name << " " << type << "\n";
+}
+
+bool prom_valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string prometheus_text() {
   std::ostringstream os;
@@ -196,19 +251,20 @@ std::string prometheus_text() {
     const std::string name = prom_name(row.name);
     switch (row.kind) {
       case MetricRow::Kind::kCounter:
-        os << "# TYPE " << name << " counter\n"
-           << name << " " << row.count << "\n";
+        prom_header(os, name, row.name, "counter");
+        os << name << " " << row.count << "\n";
         break;
       case MetricRow::Kind::kGauge:
-        os << "# TYPE " << name << " gauge\n"
-           << name << " " << row.value << "\n"
-           << "# TYPE " << name << "_high_water gauge\n"
-           << name << "_high_water " << row.high_water << "\n";
+        prom_header(os, name, row.name, "gauge");
+        os << name << " " << row.value << "\n";
+        prom_header(os, name + "_high_water", row.name + " high water",
+                    "gauge");
+        os << name << "_high_water " << row.high_water << "\n";
         break;
       case MetricRow::Kind::kHistogram: {
         const HistogramSnapshot& h = row.hist;
-        os << "# TYPE " << name << " summary\n"
-           << name << "_count " << h.count << "\n"
+        prom_header(os, name, row.name, "summary");
+        os << name << "_count " << h.count << "\n"
            << name << "_sum " << fmt_double(h.sum) << "\n"
            << name << "{quantile=\"0.5\"} " << fmt_double(h.p50) << "\n"
            << name << "{quantile=\"0.95\"} " << fmt_double(h.p95) << "\n"
@@ -220,10 +276,104 @@ std::string prometheus_text() {
   return os.str();
 }
 
+bool check_prometheus_text(const std::string& text, std::string* error) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+
+  // Family name: samples strip summary suffixes and the label section.
+  const auto family_of = [](std::string name) {
+    for (const char* suffix : {"_count", "_sum", "_bucket"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+
+  std::map<std::string, std::string> typed;  // family -> TYPE value.
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") continue;  // plain comment.
+      if (!prom_valid_name(name)) {
+        return fail(line_no, "bad metric name '" + name + "'");
+      }
+      if (kind == "HELP") {
+        // Reject a bare trailing backslash (invalid escape).
+        std::size_t trailing = 0;
+        for (auto it = line.rbegin(); it != line.rend() && *it == '\\'; ++it) {
+          ++trailing;
+        }
+        if (trailing % 2 != 0) return fail(line_no, "unterminated escape");
+        continue;
+      }
+      std::string type;
+      ls >> type;
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        return fail(line_no, "bad TYPE '" + type + "'");
+      }
+      if (!typed.emplace(name, type).second) {
+        return fail(line_no, "duplicate TYPE for '" + name + "'");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value.
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return fail(line_no, "no sample value");
+    std::string name;
+    std::string rest;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) return fail(line_no, "unclosed labels");
+      name = line.substr(0, brace);
+      rest = line.substr(close + 1);
+    } else {
+      name = line.substr(0, space);
+      rest = line.substr(space);
+    }
+    if (!prom_valid_name(name)) {
+      return fail(line_no, "bad metric name '" + name + "'");
+    }
+    std::istringstream vs(rest);
+    double value = 0.0;
+    if (!(vs >> value)) return fail(line_no, "unparsable value");
+    const std::string family = family_of(name);
+    if (typed.find(family) == typed.end() &&
+        typed.find(name) == typed.end()) {
+      return fail(line_no, "sample '" + name + "' has no preceding TYPE");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
 std::string summary_table() {
   std::ostringstream os;
   constexpr int kWidth = 36;
   os << "--- telemetry (" << (enabled() ? "enabled" : "disabled") << ") ---\n";
+  // Surfacing ring overwrites up front keeps silently-truncated timelines
+  // from masquerading as complete ones.
+  if (const std::uint64_t dropped = spans_dropped(); dropped > 0) {
+    os << util::table_row({"spans dropped (ring overwrite)",
+                           std::to_string(dropped)},
+                          kWidth)
+       << "\n";
+  }
   for (const MetricRow& row : Registry::global().snapshot()) {
     switch (row.kind) {
       case MetricRow::Kind::kCounter:

@@ -116,6 +116,33 @@ void instant(const std::string& name, const std::string& detail) {
   push_record(std::move(rec));
 }
 
+namespace {
+
+void push_flow(const std::string& name, std::uint64_t id,
+               const std::string& detail, char phase) {
+  if (!enabled()) return;
+  FinishedSpan rec;
+  rec.name = name;
+  rec.detail = detail;
+  rec.start_ns = now_ns();
+  rec.is_instant = true;  // zero-duration: skipped by span aggregation.
+  rec.flow_id = id;
+  rec.flow_phase = phase;
+  push_record(std::move(rec));
+}
+
+}  // namespace
+
+void flow_start(const std::string& name, std::uint64_t id,
+                const std::string& detail) {
+  push_flow(name, id, detail, 's');
+}
+
+void flow_finish(const std::string& name, std::uint64_t id,
+                 const std::string& detail) {
+  push_flow(name, id, detail, 'f');
+}
+
 std::vector<FinishedSpan> collect_spans() {
   RingDirectory& dir = directory();
   std::vector<FinishedSpan> out;

@@ -39,6 +39,14 @@ class Span {
 /// Violation detections are reported this way.
 void instant(const std::string& name, const std::string& detail = {});
 
+/// Flow events: a start/finish pair sharing `id` draws an arrow between two
+/// points of the Chrome-trace timeline ("s"/"f" phases).  The provenance
+/// engine links the two endpoints of every violation certificate this way.
+void flow_start(const std::string& name, std::uint64_t id,
+                const std::string& detail = {});
+void flow_finish(const std::string& name, std::uint64_t id,
+                 const std::string& detail = {});
+
 /// One completed span / instant, flattened for the exporters.
 struct FinishedSpan {
   std::string thread;       ///< thread label at record time ("rank0.main").
@@ -48,6 +56,8 @@ struct FinishedSpan {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   bool is_instant = false;
+  std::uint64_t flow_id = 0;   ///< flow pair id (flows only).
+  char flow_phase = 0;         ///< 0 = not a flow, 's' = start, 'f' = finish.
 };
 
 /// Snapshot of every thread's ring, start-time-sorted.  Safe to call while

@@ -31,17 +31,19 @@ bool ViolationStream::offer(spec::Violation&& v) {
   const spec::Violation* live = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!seen_.insert(spec::violation_key(v)).second) {
+    const std::string key = spec::violation_key(v);
+    if (!seen_.insert(key).second) {
       ++duplicates_;
       return false;
     }
     // First sighting of this violation key: drop a pin on the span timeline
     // and bump the per-type counter so the Chrome trace shows detections in
-    // phase context.
+    // phase context.  The key leads the detail so live instants correlate
+    // with the provenance flows of the same violation.
     {
       std::string mark = "violation: ";
       mark += spec::violation_type_name(v.type);
-      obs::instant(mark, v.to_string());
+      obs::instant(mark, "[" + key + "] " + v.to_string());
       std::string metric = "spec.violations.";
       metric += violation_metric_leaf(v.type);
       obs::Registry::global().counter(metric).add(1);

@@ -41,6 +41,7 @@ std::size_t match_call_pair(MonitoredVar kind, const Event& c1, const Event& c2,
       Violation v;
       v.type = ViolationType::kConcurrentRecv;
       fill_pair(v, c1, c2, strings);
+      v.comm = m1.comm;
       std::ostringstream os;
       os << "two threads receive with source=" << m1.peer << " tag=" << m1.tag
          << " comm=" << m1.comm
@@ -60,6 +61,7 @@ std::size_t match_call_pair(MonitoredVar kind, const Event& c1, const Event& c2,
       Violation v;
       v.type = ViolationType::kProbe;
       fill_pair(v, c1, c2, strings);
+      v.comm = m1.comm;
       std::ostringstream os;
       os << trace::mpi_call_type_name(m1.type) << " and "
          << trace::mpi_call_type_name(m2.type) << " race on source=" << m1.peer
@@ -76,6 +78,7 @@ std::size_t match_call_pair(MonitoredVar kind, const Event& c1, const Event& c2,
       Violation v;
       v.type = ViolationType::kConcurrentRequest;
       fill_pair(v, c1, c2, strings);
+      v.request = m1.request;
       std::ostringstream os;
       os << trace::mpi_call_type_name(m1.type) << " and "
          << trace::mpi_call_type_name(m2.type) << " complete the same request "
@@ -91,6 +94,7 @@ std::size_t match_call_pair(MonitoredVar kind, const Event& c1, const Event& c2,
       Violation v;
       v.type = ViolationType::kCollectiveCall;
       fill_pair(v, c1, c2, strings);
+      v.comm = m1.comm;
       std::ostringstream os;
       os << trace::mpi_call_type_name(m1.type) << " and "
          << trace::mpi_call_type_name(m2.type) << " concurrently use comm "

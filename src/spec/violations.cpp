@@ -36,6 +36,8 @@ std::string Violation::to_string() const {
     os << " sites(" << (callsite1.empty() ? "?" : callsite1) << ", "
        << (callsite2.empty() ? "?" : callsite2) << ")";
   }
+  if (comm != 0) os << " comm " << comm;
+  if (request != 0) os << " request " << request;
   if (!detail.empty()) os << ": " << detail;
   return os.str();
 }
@@ -55,6 +57,12 @@ std::string violation_key(const Violation& v) {
       os << v.callsite2 << "|" << v.callsite1;
     }
   }
+  // Shared-resource identity: without it, collective violations on distinct
+  // communicators at the same callsite pair would dedup into one report.
+  // Communicator ids are allocation-ordered at startup, hence stable across
+  // runs; raw request handles are per-message and are NOT part of the key
+  // (they would break replay key equality), only of the report.
+  if (v.comm != 0) os << "|comm" << v.comm;
   return os.str();
 }
 

@@ -34,12 +34,19 @@ struct Violation {
   trace::Seq call2 = 0;
   std::string callsite1;
   std::string callsite2;
+  /// Shared-resource identity (0 = n/a): the communicator of a V3/V5/V6
+  /// finding, the request object of a V4 finding.  Part of the dedup key so
+  /// collectives racing on *distinct* communicators at one callsite pair
+  /// stay distinct reports.
+  std::uint64_t comm = 0;
+  std::uint64_t request = 0;
   std::string detail;
 
   std::string to_string() const;
 };
 
-/// Stable deduplication key: one report per (type, rank, callsite pair).
+/// Stable deduplication key: one report per (type, rank, callsite pair,
+/// comm/request identity).
 std::string violation_key(const Violation& v);
 
 }  // namespace home::spec

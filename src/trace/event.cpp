@@ -96,25 +96,48 @@ bool locksets_disjoint(const std::vector<ObjId>& a, const std::vector<ObjId>& b)
 }
 
 std::string event_to_string(const Event& e) {
-  std::ostringstream os;
-  os << "#" << e.seq << " t" << e.tid << " r" << e.rank << " "
-     << event_kind_name(e.kind) << " obj=" << e.obj;
-  if (e.kind == EventKind::kBarrier) os << " size=" << e.aux;
+  // Direct string appends: this renders every context-window line of every
+  // certificate, and an ostringstream costs more to construct than the whole
+  // line does to format.
+  std::string out;
+  out.reserve(64);
+  out += '#';
+  out += std::to_string(e.seq);
+  out += " t";
+  out += std::to_string(e.tid);
+  out += " r";
+  out += std::to_string(e.rank);
+  out += ' ';
+  out += event_kind_name(e.kind);
+  out += " obj=";
+  out += std::to_string(e.obj);
+  if (e.kind == EventKind::kBarrier) {
+    out += " size=";
+    out += std::to_string(e.aux);
+  }
   if (!e.locks_held.empty()) {
-    os << " locks={";
+    out += " locks={";
     for (std::size_t i = 0; i < e.locks_held.size(); ++i) {
-      if (i) os << ",";
-      os << e.locks_held[i];
+      if (i) out += ',';
+      out += std::to_string(e.locks_held[i]);
     }
-    os << "}";
+    out += '}';
   }
   if (e.mpi) {
-    os << " " << mpi_call_type_name(e.mpi->type) << "(peer=" << e.mpi->peer
-       << ",tag=" << e.mpi->tag << ",comm=" << e.mpi->comm
-       << ",req=" << e.mpi->request << (e.mpi->on_main_thread ? ",main" : "")
-       << ")";
+    out += ' ';
+    out += mpi_call_type_name(e.mpi->type);
+    out += "(peer=";
+    out += std::to_string(e.mpi->peer);
+    out += ",tag=";
+    out += std::to_string(e.mpi->tag);
+    out += ",comm=";
+    out += std::to_string(e.mpi->comm);
+    out += ",req=";
+    out += std::to_string(e.mpi->request);
+    if (e.mpi->on_main_thread) out += ",main";
+    out += ')';
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace home::trace

@@ -23,7 +23,7 @@
 namespace home::explore {
 namespace {
 
-const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv";
+const char kHiddenKey[] = "2|0|hidden.racy_recv|hidden.racy_recv|comm1";
 
 Sweeper::RankMain hidden_main() {
   return [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };

@@ -311,6 +311,79 @@ TEST(Exporters, PrometheusTextExposition) {
   EXPECT_NE(text.find("home_test_obs_prom_counter 9"), std::string::npos);
   EXPECT_NE(text.find("# TYPE home_test_obs_prom_counter counter"),
             std::string::npos);
+  // Every family leads with a HELP line naming the dotted source metric.
+  EXPECT_NE(text.find("# HELP home_test_obs_prom_counter home metric "
+                      "test.obs.prom_counter"),
+            std::string::npos);
+}
+
+TEST(Exporters, PrometheusTextPassesItsOwnValidator) {
+  set_enabled(true);
+  Registry::global().counter("test.obs.prom_valid").add(1);
+  Registry::global().gauge("test.obs.prom_gauge").set(4);
+  Registry::global().histogram("test.obs.prom_hist").observe(2.5);
+  const std::string text = prometheus_text();
+  std::string error;
+  EXPECT_TRUE(check_prometheus_text(text, &error)) << error;
+
+  // The validator is not a rubber stamp: corruptions are rejected.
+  EXPECT_FALSE(check_prometheus_text(
+      "home_orphan_sample 3\n", &error));       // sample without TYPE.
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(check_prometheus_text(
+      "# TYPE home_x counter\n# TYPE home_x counter\nhome_x 1\n",
+      &error));                                 // duplicate TYPE.
+  EXPECT_FALSE(check_prometheus_text(
+      "# TYPE home_y bogus_kind\nhome_y 1\n", &error));
+  EXPECT_FALSE(check_prometheus_text(
+      "# TYPE home_z counter\nhome_z not_a_number\n", &error));
+}
+
+TEST(Exporters, SpanDropsAreSurfacedEverywhere) {
+  set_enabled(true);
+  reset_spans();
+  // Overflow one thread's ring so the overwrite counter trips.
+  for (std::size_t i = 0; i < kRingCapacity + 10; ++i) {
+    instant("test.obs.drop_filler");
+  }
+  EXPECT_GT(spans_dropped(), 0u);
+
+  const std::string json = telemetry_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"spans_dropped\":"), std::string::npos);
+  // The JSON value reflects the live counter, not a hardcoded zero.
+  const std::size_t at = json.find("\"spans_dropped\":");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json[at + std::string("\"spans_dropped\":").size()], '0');
+
+  EXPECT_NE(summary_table().find("spans dropped (ring overwrite)"),
+            std::string::npos);
+  reset_spans();
+  // After a reset the drop row disappears from the summary.
+  EXPECT_EQ(summary_table().find("spans dropped (ring overwrite)"),
+            std::string::npos);
+}
+
+TEST(Exporters, FlowEventsExportAsChromeFlowPair) {
+  set_enabled(true);
+  reset_spans();
+  flow_start("test.flow", 42, "from endpoint A");
+  flow_finish("test.flow", 42, "to endpoint B");
+  const std::vector<FinishedSpan> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].flow_phase, 's');
+  EXPECT_EQ(spans[1].flow_phase, 'f');
+  EXPECT_EQ(spans[0].flow_id, 42u);
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // Binding point "enclosing slice" on the finish side keeps Perfetto happy.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  reset_spans();
 }
 
 TEST(EventQueue, SplitsDropsByCause) {
