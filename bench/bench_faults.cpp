@@ -1,0 +1,222 @@
+// Fault-injection & resilience bench (ISSUE-10): what the layer costs when
+// it is OFF, and what it delivers when it is ON.
+//
+// Experiments (one JSON row each, stdout and --json-out, default
+// BENCH_faults.json):
+//   faults_hook_disabled   ns per fault hook hit with no Injector installed
+//                          (one relaxed load + branch — the path every
+//                          production run pays), and the implied overhead on
+//                          an uncontrolled hidden-race run — acceptance
+//                          gate < 5%.
+//   faults_wal_salvage     WAL salvage rate: events recovered from a trace
+//                          WAL truncated at 25/50/75/100% of its bytes
+//                          (the crash-safety payoff EXPERIMENTS.md tables).
+//   faults_injected_sweep  schedules/sec of a delay+stall injected sweep of
+//                          the hidden-race app under a watchdog — the sweep
+//                          must complete (no stall) with zero crashes.
+//
+// Modes:
+//   bench_faults           full run (16 injected schedules)
+//   bench_faults --smoke   fast gate: disabled-hook overhead < 5%, salvage
+//                          recovers a truncated WAL's prefix, a 6-schedule
+//                          injected sweep completes; ctest runs this.
+//
+// Knobs: --schedules, --reps, --json-out.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/fig_common.hpp"
+#include "src/apps/hidden_race.hpp"
+#include "src/explore/sweeper.hpp"
+#include "src/faults/injector.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/trace/wal.hpp"
+#include "src/util/flags.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace home;
+
+explore::Sweeper::RankMain hidden_main() {
+  return [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };
+}
+
+explore::SweepConfig hidden_config(explore::StrategyKind strategy,
+                                   int schedules) {
+  explore::SweepConfig cfg;
+  cfg.nranks = apps::kHiddenRaceRanks;
+  cfg.nthreads = 2;
+  cfg.schedules = schedules;
+  cfg.strategy = strategy;
+  return cfg;
+}
+
+/// ns per fault hook hit on the disabled fast path; measured over the two
+/// hottest hook flavours (per-MPI-call and per-queue-consume).
+double disabled_hook_ns(int reps) {
+  util::Stopwatch timer;
+  for (int i = 0; i < reps; ++i) {
+    faults::mpi_call_point(0, "bench.site");
+    faults::queue_consume_point("bench.site");
+  }
+  return timer.elapsed_seconds() * 1e9 / (2.0 * reps);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct Output {
+  std::FILE* json = nullptr;
+  void emit(const bench::JsonRow& row) {
+    row.print(stdout);
+    if (json != nullptr) row.print(json);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const int schedules = flags.get_int("schedules", smoke ? 6 : 16);
+  const int reps = flags.get_int("reps", smoke ? 2000000 : 20000000);
+
+  const std::string json_path = flags.get("json-out", "BENCH_faults.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_faults: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  Output out;
+  out.json = json;
+  bool ok = true;
+
+  // ---------------------------------------------- disabled hook fast path
+  disabled_hook_ns(reps / 10);  // warm-up.
+  const double hook_ns = disabled_hook_ns(reps);
+
+  // Implied overhead on an uncontrolled hidden-race run: the fault hooks
+  // sit on the same instrumented operations the explore hooks count, so
+  // one probe run's hook_hits is the per-run hit volume.
+  util::Stopwatch base_timer;
+  const int base_reps = smoke ? 5 : 20;
+  for (int i = 0; i < base_reps; ++i) {
+    explore::SweepConfig cfg = hidden_config(explore::StrategyKind::kNone, 0);
+    explore::Sweeper(cfg).run(hidden_main());
+  }
+  const double base_seconds = base_timer.elapsed_seconds() / base_reps;
+  explore::SweepConfig probe_cfg =
+      hidden_config(explore::StrategyKind::kNone, 1);
+  const explore::SweepResult probe =
+      explore::Sweeper(probe_cfg).run(hidden_main());
+  const double hits_per_run =
+      probe.schedules_run > 1
+          ? static_cast<double>(probe.hook_hits) / (probe.schedules_run - 1)
+          : static_cast<double>(probe.hook_hits);
+  const double overhead_pct =
+      base_seconds > 0.0
+          ? hits_per_run * hook_ns / (base_seconds * 1e9) * 100.0
+          : 0.0;
+
+  out.emit(bench::JsonRow("faults_hook_disabled")
+               .field("hook_ns", hook_ns)
+               .field("hits_per_run", hits_per_run)
+               .field("baseline_run_seconds", base_seconds)
+               .field("overhead_pct", overhead_pct));
+  if (overhead_pct >= 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled fault-hook overhead %.3f%% >= 5%% gate "
+                 "(%.2f ns/hit, %.0f hits/run)\n",
+                 overhead_pct, hook_ns, hits_per_run);
+    ok = false;
+  }
+
+  // ------------------------------------------------------- WAL salvage rate
+  // One instrumented run streamed into a WAL, then truncated at byte
+  // fractions: how much of the trace the salvage loader gives back.
+  const std::string wal_path = "bench_faults_wal.bin";
+  {
+    explore::SweepConfig cfg = hidden_config(explore::StrategyKind::kNone, 0);
+    cfg.session.wal_path = wal_path;
+    explore::Sweeper(cfg).run(hidden_main());
+  }
+  const std::string wal_bytes = slurp(wal_path);
+  std::remove(wal_path.c_str());
+  trace::WalSalvage full_salvage;
+  {
+    std::istringstream in(wal_bytes);
+    trace::salvage_wal(in, &full_salvage);
+  }
+  const double total_events = static_cast<double>(full_salvage.events);
+  bool salvage_monotone = true;
+  std::size_t prev = 0;
+  bench::JsonRow salvage_row("faults_wal_salvage");
+  salvage_row.field("wal_bytes", wal_bytes.size())
+      .field("events_total", full_salvage.events);
+  const int fractions[] = {25, 50, 75, 100};
+  for (int pct : fractions) {
+    const std::size_t cut = wal_bytes.size() * pct / 100;
+    std::istringstream in(wal_bytes.substr(0, cut));
+    trace::WalSalvage salvage;
+    trace::salvage_wal(in, &salvage);
+    if (salvage.events < prev) salvage_monotone = false;
+    prev = salvage.events;
+    char key[32];
+    std::snprintf(key, sizeof key, "recovered_pct_at_%d", pct);
+    salvage_row.field(key, total_events > 0.0
+                               ? 100.0 * salvage.events / total_events
+                               : 0.0);
+  }
+  out.emit(salvage_row);
+  if (!salvage_monotone || full_salvage.events == 0 ||
+      !full_salvage.clean()) {
+    std::fprintf(stderr,
+                 "FAIL: WAL salvage not monotone/clean (events=%zu)\n",
+                 full_salvage.events);
+    ok = false;
+  }
+
+  // ------------------------------------------------------ injected sweep
+  // Delay + stall injection under a watchdog: the resilience machinery must
+  // carry the sweep to completion without a stall or a crash.
+  explore::SweepConfig icfg =
+      hidden_config(explore::StrategyKind::kWildcardReorder, schedules);
+  faults::FaultSpec spec;
+  spec.msg_delay_p = 0.3;
+  spec.rank_stall_p = 0.2;
+  icfg.session.faults.enabled = true;
+  icfg.session.faults.spec = spec;
+  icfg.session.faults.seed = 1;
+  icfg.schedule_timeout_ms = 20000;
+  icfg.max_retries = 1;
+  const explore::SweepResult sweep = explore::Sweeper(icfg).run(hidden_main());
+  const double rate =
+      sweep.seconds > 0.0 ? sweep.schedules_run / sweep.seconds : 0.0;
+  out.emit(bench::JsonRow("faults_injected_sweep")
+               .field("schedules", sweep.schedules_run)
+               .field("seconds", sweep.seconds)
+               .field("schedules_per_sec", rate)
+               .field("timeouts", sweep.timeouts)
+               .field("crashes", sweep.crashes)
+               .field("retries", sweep.retries)
+               .field("unique_keys", sweep.findings.size()));
+  if (sweep.schedules_run != schedules + 1 || sweep.crashes > 0) {
+    std::fprintf(stderr,
+                 "FAIL: injected sweep did not complete cleanly "
+                 "(run=%d, crashes=%d)\n",
+                 sweep.schedules_run, sweep.crashes);
+    ok = false;
+  }
+
+  std::fclose(json);
+  std::printf("%s (json: %s)\n", ok ? "OK" : "FAILED", json_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -11,6 +11,20 @@
 //                     [--expect-violation] [--no-replay-check]
 //                     [--explain] [--paranoid] [--provenance-out=FILE]
 //                     [--minimize] [--min-schedule-out=DIR]
+//                     [--inject=SPEC] [--fault-seed=1] [--faultplan=FILE]
+//                     [--schedule-timeout-ms=N] [--max-retries=N]
+//                     [--retry-backoff-ms=N] [--quarantine-dir=DIR]
+//                     [--journal=FILE] [--resume] [--wal=FILE]
+//
+// Resilience (ISSUE-10): --inject enables seeded fault injection
+// (FaultSpec "key=value,..." — e.g. "crash=0.01,delay=0.2"); --faultplan
+// replays a recorded *.faultplan instead; --schedule-timeout-ms arms a
+// per-schedule watchdog, --max-retries re-runs hung/crashed schedules with
+// backoff, and schedules that still fail are quarantined into
+// --quarantine-dir with their reproduction artifacts.  --journal checkpoints
+// every completed schedule; with --resume, a rerun replays journaled
+// schedules instead of executing them (without --resume an existing journal
+// is truncated).  --wal streams events to a crash-safe write-ahead log.
 //
 // Provenance: --explain prints each finding's explanation certificate
 // (causal HB witness chains); --paranoid re-verifies every certificate via
@@ -26,8 +40,11 @@
 // Exit codes: 0 ok; 1 a replay failed to reproduce its finding, a
 // certificate failed paranoid verification, a minimized schedule failed to
 // reproduce, or --expect-violation was given but the sweep found nothing
-// beyond the baseline; 2 usage error.
+// beyond the baseline; 2 usage error; 3 a schedule hit the watchdog timeout
+// and stayed quarantined; 4 a schedule crashed through all retries (a crash
+// outranks a timeout when both occurred).
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -37,12 +54,57 @@
 #include "src/diagnose/provenance.hpp"
 #include "src/explore/guidance.hpp"
 #include "src/explore/sweeper.hpp"
+#include "src/faults/plan.hpp"
 #include "src/sast/commstat.hpp"
 #include "src/util/flags.hpp"
 
 namespace {
 
 using namespace home;
+
+/// Parse the resilience flags (fault injection, watchdog/retry/quarantine,
+/// journal, WAL) into the sweep config; false (reason printed) on malformed
+/// --inject specs or unloadable --faultplan files.
+bool apply_resilience_flags(const util::Flags& flags,
+                            explore::SweepConfig* cfg) {
+  const std::string inject = flags.get("inject", "");
+  if (!inject.empty()) {
+    faults::FaultSpec spec;
+    if (!faults::FaultSpec::parse(inject, &spec)) {
+      std::fprintf(stderr, "malformed --inject spec: %s\n", inject.c_str());
+      return false;
+    }
+    cfg->session.faults.enabled = true;
+    cfg->session.faults.spec = spec;
+    cfg->session.faults.seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  }
+  const std::string plan_path = flags.get("faultplan", "");
+  if (!plan_path.empty()) {
+    auto plan = std::make_shared<faults::FaultPlan>();
+    if (!faults::FaultPlan::load(plan_path, plan.get())) {
+      std::fprintf(stderr, "cannot load faultplan %s\n", plan_path.c_str());
+      return false;
+    }
+    cfg->session.faults.enabled = true;
+    cfg->session.faults.replay = std::move(plan);
+  }
+  cfg->schedule_timeout_ms = flags.get_int("schedule-timeout-ms", 0);
+  cfg->max_retries = flags.get_int("max-retries", 0);
+  cfg->retry_backoff_ms = flags.get_int("retry-backoff-ms", 50);
+  cfg->quarantine_dir = flags.get("quarantine-dir", "");
+  cfg->session.wal_path = flags.get("wal", "");
+  const std::string journal = flags.get("journal", "");
+  if (!journal.empty()) {
+    cfg->journal_path = journal;
+    if (!flags.get_bool("resume", false)) {
+      // Without --resume an existing journal describes a *previous* sweep:
+      // start fresh rather than silently skipping its schedules.
+      std::ofstream(journal, std::ios::trunc);
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -70,6 +132,7 @@ int main(int argc, char** argv) {
                  "guided)\n");
     return 2;
   }
+  if (!apply_resilience_flags(flags, &cfg)) return 2;
 
   const std::string guidance_path = flags.get("guidance", "");
   if (!guidance_path.empty()) {
@@ -169,7 +232,20 @@ int main(int argc, char** argv) {
     // reproduce the finding on replay.
     for (const explore::SweepFinding& f : result.findings) {
       if (f.schedule_index < 0 || f.in_baseline) continue;
-      const std::set<std::string> keys = sweeper.replay(f.schedule, rank_main);
+      if (f.schedule.empty()) {
+        // A journal-resumed finding whose schedule artifact was never
+        // persisted (no --schedule-dir on the original sweep) has nothing
+        // to replay; say so instead of failing a vacuous replay.
+        std::printf("replay seed %llu: %s SKIPPED (no recorded schedule; "
+                    "rerun with --schedule-dir to keep replay artifacts)\n",
+                    static_cast<unsigned long long>(f.seed), f.key.c_str());
+        continue;
+      }
+      // A fault-sweep finding only reproduces under its own fault plan.
+      const faults::FaultPlan* fp =
+          cfg.session.faults.enabled ? &f.faultplan : nullptr;
+      const std::set<std::string> keys =
+          sweeper.replay(f.schedule, rank_main, fp);
       const bool reproduced = keys.count(f.key) > 0;
       std::printf("replay seed %llu: %s %s\n",
                   static_cast<unsigned long long>(f.seed), f.key.c_str(),
@@ -191,8 +267,14 @@ int main(int argc, char** argv) {
     expectation_failed = true;
   }
 
-  return (replay_failures > 0 || expectation_failed ||
-          certificate_failures > 0 || minimize_failures > 0)
-             ? 1
-             : 0;
+  if (replay_failures > 0 || expectation_failed || certificate_failures > 0 ||
+      minimize_failures > 0) {
+    return 1;
+  }
+  // Quarantine outcomes surface through dedicated exit codes so CI can tell
+  // "the sweep found nothing" from "the sweep could not finish cleanly";
+  // a crash outranks a timeout when both occurred.
+  if (result.crashes > 0) return 4;
+  if (result.timeouts > 0) return 3;
+  return 0;
 }

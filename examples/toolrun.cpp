@@ -6,6 +6,15 @@
 //                            [--seed-base=1] [--schedule-dir=schedules]
 //                            [--guidance=FILE] [--stop-on-first]
 //   Replay:        ./toolrun --app=hidden --replay=schedules/seed5.schedule
+//                            [--faultplan=schedules/seed5.faultplan]
+//
+// Resilience (ISSUE-10; all modes with --tool=home):
+//   --inject=SPEC         seeded fault injection (FaultSpec "key=value,...",
+//                         e.g. "crash=0.01,delay=0.2"); --fault-seed=N
+//   --faultplan=FILE      replay a recorded *.faultplan instead
+//   --wal=FILE            stream events to a crash-safe write-ahead log
+//   Exploration only: --schedule-timeout-ms=N --max-retries=N
+//   --retry-backoff-ms=N --quarantine-dir=DIR --journal=FILE --resume
 //
 // Provenance (single runs with --tool=home, and exploration):
 //   --explain             print the explanation certificate of every finding
@@ -25,6 +34,7 @@
 // Exploration always analyzes with HOME; --tool selects the baseline tool
 // for single runs only.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <memory>
@@ -34,6 +44,7 @@
 #include "src/apps/toolrun.hpp"
 #include "src/explore/guidance.hpp"
 #include "src/explore/sweeper.hpp"
+#include "src/faults/plan.hpp"
 #include "src/sast/commstat.hpp"
 #include "src/spec/violations.hpp"
 #include "src/util/flags.hpp"
@@ -48,6 +59,55 @@ struct AppChoice {
   int nthreads = 2;
   explore::Sweeper::RankMain rank_main;
 };
+
+/// Parse --inject / --fault-seed / --faultplan / --wal into a SessionConfig;
+/// false (reason printed) on malformed specs or unloadable plans.
+bool apply_fault_flags(const util::Flags& flags, SessionConfig* scfg) {
+  const std::string inject = flags.get("inject", "");
+  if (!inject.empty()) {
+    faults::FaultSpec spec;
+    if (!faults::FaultSpec::parse(inject, &spec)) {
+      std::fprintf(stderr, "malformed --inject spec: %s\n", inject.c_str());
+      return false;
+    }
+    scfg->faults.enabled = true;
+    scfg->faults.spec = spec;
+    scfg->faults.seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  }
+  const std::string plan_path = flags.get("faultplan", "");
+  if (!plan_path.empty()) {
+    auto plan = std::make_shared<faults::FaultPlan>();
+    if (!faults::FaultPlan::load(plan_path, plan.get())) {
+      std::fprintf(stderr, "cannot load faultplan %s\n", plan_path.c_str());
+      return false;
+    }
+    scfg->faults.enabled = true;
+    scfg->faults.replay = std::move(plan);
+  }
+  scfg->wal_path = flags.get("wal", "");
+  return true;
+}
+
+/// The exploration-only resilience knobs on top of apply_fault_flags.
+bool apply_resilience_flags(const util::Flags& flags,
+                            explore::SweepConfig* cfg) {
+  if (!apply_fault_flags(flags, &cfg->session)) return false;
+  cfg->schedule_timeout_ms = flags.get_int("schedule-timeout-ms", 0);
+  cfg->max_retries = flags.get_int("max-retries", 0);
+  cfg->retry_backoff_ms = flags.get_int("retry-backoff-ms", 50);
+  cfg->quarantine_dir = flags.get("quarantine-dir", "");
+  const std::string journal = flags.get("journal", "");
+  if (!journal.empty()) {
+    cfg->journal_path = journal;
+    if (!flags.get_bool("resume", false)) {
+      // Without --resume an existing journal describes a *previous* sweep:
+      // start fresh rather than silently skipping its schedules.
+      std::ofstream(journal, std::ios::trunc);
+    }
+  }
+  return true;
+}
 
 bool diagnose_requested(const util::Flags& flags) {
   return flags.get_bool("explain", false) || flags.get_bool("paranoid", false) ||
@@ -136,6 +196,7 @@ int run_single(const util::Flags& flags) {
     cfg.nthreads = choice.nthreads;
     cfg.schedules = 0;
     apply_diagnose_flags(flags, &cfg);
+    if (!apply_resilience_flags(flags, &cfg)) return 2;
     const explore::SweepResult result =
         explore::Sweeper(cfg).run(choice.rank_main);
     std::printf("%s", result.to_string().c_str());
@@ -175,6 +236,11 @@ int run_single(const util::Flags& flags) {
     std::fprintf(stderr, "--explain/--paranoid requires --tool=home\n");
     return 2;
   }
+  if (!apply_fault_flags(flags, &scfg)) return 2;
+  if (scfg.faults.enabled && tool != apps::Tool::kHome) {
+    std::fprintf(stderr, "--inject/--faultplan requires --tool=home\n");
+    return 2;
+  }
   const apps::ToolRunResult result = apps::run_with_tool(tool, cfg, scfg);
   std::printf("app=%s tool=%s run=%.3fs analysis=%.3fs\n", app.c_str(),
               apps::tool_name(tool), result.run_seconds,
@@ -203,6 +269,7 @@ int run_explore(const util::Flags& flags, int schedules) {
   }
   cfg.stop_on_first_new = flags.get_bool("stop-on-first", false);
   apply_diagnose_flags(flags, &cfg);
+  if (!apply_resilience_flags(flags, &cfg)) return 2;
 
   const std::string guidance_path = flags.get("guidance", "");
   if (!guidance_path.empty()) {
@@ -246,8 +313,18 @@ int run_replay(const util::Flags& flags, const std::string& path) {
   explore::SweepConfig cfg;
   cfg.nranks = choice.nranks;
   cfg.nthreads = choice.nthreads;
+  faults::FaultPlan plan;
+  const faults::FaultPlan* fp = nullptr;
+  const std::string plan_path = flags.get("faultplan", "");
+  if (!plan_path.empty()) {
+    if (!faults::FaultPlan::load(plan_path, &plan)) {
+      std::fprintf(stderr, "cannot load faultplan %s\n", plan_path.c_str());
+      return 2;
+    }
+    fp = &plan;
+  }
   const std::set<std::string> keys =
-      explore::Sweeper(cfg).replay(schedule, choice.rank_main);
+      explore::Sweeper(cfg).replay(schedule, choice.rank_main, fp);
   std::printf("replayed %s (%zu decision(s), strategy %s, seed %llu): %zu "
               "violation(s)\n",
               path.c_str(), schedule.decisions.size(),

@@ -73,7 +73,11 @@ std::string ProvenanceReport::to_string() const {
     os << ", " << verified << " verified, " << verify_failures.size()
        << " failed";
   }
+  if (degraded) os << ", DEGRADED input";
   os << " ---\n";
+  for (const std::string& reason : degraded_reasons) {
+    os << "  degraded: " << reason << "\n";
+  }
   for (const Certificate& c : certificates) os << c.to_string();
   for (const std::string& f : verify_failures) {
     os << "  VERIFY FAILED: " << f << "\n";
@@ -236,7 +240,16 @@ std::string provenance_json(const ProvenanceReport& report) {
   os << "{\"provenance\":{\"count\":" << report.certificates.size()
      << ",\"paranoid\":" << (report.paranoid ? "true" : "false")
      << ",\"verified\":" << report.verified << ",\"build_seconds\":"
-     << report.build_seconds;
+     << report.build_seconds
+     << ",\"verdict\":\"" << (report.degraded ? "degraded" : "exact") << "\"";
+  if (report.degraded) {
+    os << ",\"degraded_reasons\":[";
+    for (std::size_t i = 0; i < report.degraded_reasons.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << obs::json_escape(report.degraded_reasons[i]) << "\"";
+    }
+    os << "]";
+  }
   os << ",\"verify_failures\":[";
   for (std::size_t i = 0; i < report.verify_failures.size(); ++i) {
     if (i > 0) os << ",";

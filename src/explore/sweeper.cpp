@@ -1,13 +1,22 @@
 #include "src/explore/sweeper.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "src/diagnose/minimize.hpp"
 
+#include "src/home/deadlock_monitor.hpp"
 #include "src/homp/runtime.hpp"
 #include "src/obs/span.hpp"
 #include "src/obs/telemetry.hpp"
+#include "src/simmpi/abort.hpp"
 #include "src/util/stats.hpp"
 
 namespace home::explore {
@@ -62,6 +71,23 @@ std::string SweepResult::to_string() const {
          << "): " << p.reason << "\n";
     }
   }
+  if (timeouts > 0 || crashes > 0 || retries > 0 || resumed > 0 ||
+      journal_torn_blocks > 0) {
+    os << "  resilience: " << timeouts << " timeout(s), " << crashes
+       << " crash(es), " << retries << " retry attempt(s), " << resumed
+       << " schedule(s) resumed from journal";
+    if (journal_torn_blocks > 0) {
+      os << ", " << journal_torn_blocks << " torn journal block(s) discarded";
+    }
+    os << "\n";
+    for (const QuarantinedSchedule& q : quarantined) {
+      os << "    quarantined schedule " << q.index << " (seed " << q.seed
+         << ", " << q.status << " after " << (q.retries + 1)
+         << " attempt(s)): " << q.reason;
+      if (!q.schedule_path.empty()) os << " -> " << q.schedule_path;
+      os << "\n";
+    }
+  }
   os << "  coverage curve (cumulative unique violations):";
   for (std::size_t c : coverage_curve) os << " " << c;
   os << "\n";
@@ -70,12 +96,20 @@ std::string SweepResult::to_string() const {
 
 Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
                                       const RankMain& rank_main,
-                                      bool with_diagnose) {
+                                      bool with_diagnose,
+                                      std::uint64_t fault_seed,
+                                      const faults::FaultPlan* fault_replay) {
   RunOutcome outcome;
 
   SessionConfig scfg = cfg_.session;
   scfg.explore = opts;
   if (with_diagnose) scfg.diagnose = cfg_.diagnose;
+  if (fault_replay != nullptr) {
+    scfg.faults.enabled = true;
+    scfg.faults.replay = std::make_shared<faults::FaultPlan>(*fault_replay);
+  } else if (scfg.faults.enabled && !scfg.faults.replay && fault_seed != 0) {
+    scfg.faults.seed = fault_seed;
+  }
   Session session(scfg);
 
   simmpi::UniverseConfig ucfg;
@@ -88,7 +122,45 @@ Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
   simmpi::Universe universe(ucfg);
   session.attach(universe);
   homp::set_default_threads(cfg_.nthreads);
+
+  // Per-schedule wall-clock watchdog: if the run outlives the budget, raise
+  // the cooperative abort (every blocked MPI call throws AbortError within
+  // one poll interval) and classify the hang from the wait-for graph the
+  // DeadlockMonitor maintained while the run was alive.
+  DeadlockMonitor monitor(cfg_.nranks);
+  const bool watchdogged = cfg_.schedule_timeout_ms > 0;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool run_done = false;
+  std::thread watchdog;
+  if (watchdogged) {
+    universe.hooks().add(&monitor);
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(wd_mu);
+      const bool finished =
+          wd_cv.wait_for(lock, std::chrono::milliseconds(cfg_.schedule_timeout_ms),
+                         [&] { return run_done; });
+      if (finished) return;
+      outcome.timed_out = true;
+      outcome.hang_diagnosis = monitor.diagnose();
+      simmpi::request_abort("schedule watchdog: wall clock exceeded " +
+                            std::to_string(cfg_.schedule_timeout_ms) + " ms");
+    });
+  }
+
   const simmpi::RunResult run = universe.run(rank_main);
+
+  if (watchdogged) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu);
+      run_done = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();  // synchronizes outcome.timed_out / hang_diagnosis.
+    universe.hooks().remove(&monitor);
+    simmpi::clear_abort();
+  }
+
   session.detach(universe);
   outcome.errors = run.errors;
 
@@ -101,8 +173,85 @@ Sweeper::RunOutcome Sweeper::run_once(const Options& opts,
     outcome.signature = session.explorer()->order_signature();
     outcome.hook_hits = session.explorer()->hook_hits();
   }
+  outcome.faultplan = session.recorded_fault_plan();
   if (with_diagnose) outcome.provenance = session.provenance();
   return outcome;
+}
+
+Sweeper::GuardedRun Sweeper::run_guarded(const Options& opts,
+                                         const RankMain& rank_main,
+                                         bool with_diagnose,
+                                         std::uint64_t fault_seed) {
+  GuardedRun guard;
+  const int attempts = 1 + std::max(0, cfg_.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before re-running a failed schedule: transient
+      // resource pressure (the usual cause of a spurious hang) needs time.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<long long>(cfg_.retry_backoff_ms) << (attempt - 1)));
+    }
+    guard.retries = attempt;
+    try {
+      guard.outcome = run_once(opts, rank_main, with_diagnose, fault_seed);
+      if (!guard.outcome.timed_out) {
+        guard.status = "ok";
+        guard.failure.clear();
+        return guard;
+      }
+      guard.status = "timeout";
+      guard.failure = guard.outcome.hang_diagnosis.empty()
+                          ? "schedule watchdog timeout"
+                          : guard.outcome.hang_diagnosis;
+    } catch (const std::exception& e) {
+      guard.status = "crash";
+      guard.failure = e.what();
+      guard.outcome = RunOutcome{};
+    }
+  }
+  return guard;
+}
+
+void Sweeper::quarantine(SweepResult& result, const GuardedRun& guard,
+                         int index, std::uint64_t seed, const Options& opts) {
+  QuarantinedSchedule q;
+  q.index = index;
+  q.seed = seed;
+  q.status = guard.status;
+  q.reason = guard.failure;
+  q.retries = guard.retries;
+  if (guard.status == "timeout") ++result.timeouts;
+  else ++result.crashes;
+
+  if (!cfg_.quarantine_dir.empty()) {
+    const std::string stem =
+        cfg_.quarantine_dir + "/seed" + std::to_string(seed);
+    // The recorded decision log when the run got far enough to have one,
+    // else a header-only schedule carrying the seed/strategy needed to
+    // re-derive the failing run.
+    Schedule sched = guard.outcome.schedule;
+    if (sched.empty()) {
+      sched.seed = opts.seed;
+      sched.strategy = strategy_kind_name(cfg_.strategy);
+    }
+    if (sched.save(stem + ".schedule")) q.schedule_path = stem + ".schedule";
+    if (!guard.outcome.faultplan.empty() || cfg_.session.faults.enabled) {
+      if (guard.outcome.faultplan.save(stem + ".faultplan")) {
+        q.faultplan_path = stem + ".faultplan";
+      }
+    }
+    std::ofstream reason(stem + ".reason.txt");
+    if (reason) {
+      reason << "schedule " << index << " seed " << seed << " status "
+             << guard.status << " after " << (guard.retries + 1)
+             << " attempt(s)\n"
+             << guard.failure << "\n";
+      for (const std::string& err : guard.outcome.errors) {
+        reason << "rank error: " << err << "\n";
+      }
+    }
+  }
+  result.quarantined.push_back(std::move(q));
 }
 
 SweepResult Sweeper::run(const RankMain& rank_main) {
@@ -111,8 +260,30 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
   SweepResult result;
   std::set<std::string> seen;
 
+  // Progress journal: load previously-checkpointed schedules (they will be
+  // replayed from their records instead of re-run), then open for appending.
+  // A journal whose meta line does not describe *this* sweep is truncated —
+  // appending to a foreign journal would corrupt both sweeps' records.
+  std::map<int, JournalEntry> journaled;
+  std::unique_ptr<SweepJournal> journal;
+  if (!cfg_.journal_path.empty()) {
+    const JournalMeta meta{cfg_.schedules, cfg_.base_seed,
+                           strategy_kind_name(cfg_.strategy)};
+    std::size_t torn = 0;
+    if (SweepJournal::load(cfg_.journal_path, meta, &journaled, &torn)) {
+      result.journal_torn_blocks = torn;
+    } else {
+      journaled.clear();
+      std::ofstream(cfg_.journal_path, std::ios::trunc);
+    }
+    journal = std::make_unique<SweepJournal>(cfg_.journal_path, meta);
+  }
+
+  // Returns the (schedule, faultplan) artifact paths saved for this run's
+  // findings, so the journal record can point resumes at them.
   auto note_run = [&](const RunOutcome& outcome, int index,
-                      std::uint64_t seed) {
+                      std::uint64_t seed) -> std::pair<std::string, std::string> {
+    std::pair<std::string, std::string> paths;
     ++result.schedules_run;
     result.hook_hits += outcome.hook_hits;
     result.certificates += outcome.provenance.certificates.size();
@@ -139,10 +310,21 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
       f.in_baseline = index < 0;
       if (index >= 0) {
         f.schedule = outcome.schedule;
+        f.faultplan = outcome.faultplan;
         if (!cfg_.schedule_dir.empty()) {
           f.schedule_path = cfg_.schedule_dir + "/seed" + std::to_string(seed) +
                             ".schedule";
           if (!f.schedule.save(f.schedule_path)) f.schedule_path.clear();
+          paths.first = f.schedule_path;
+        }
+        if (!outcome.faultplan.empty() && !cfg_.schedule_dir.empty()) {
+          // Replaying the finding needs the faults that shaped it too.
+          f.faultplan_path = cfg_.schedule_dir + "/seed" +
+                             std::to_string(seed) + ".faultplan";
+          if (!outcome.faultplan.save(f.faultplan_path)) {
+            f.faultplan_path.clear();
+          }
+          paths.second = f.faultplan_path;
         }
       }
       if (const diagnose::Certificate* cert = outcome.provenance.find(key)) {
@@ -151,20 +333,102 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
       result.findings.push_back(std::move(f));
     }
     result.coverage_curve.push_back(seen.size());
+    return paths;
+  };
+
+  auto journal_record = [&](int index, std::uint64_t seed,
+                            const GuardedRun& guard,
+                            const std::string& sched_path,
+                            const std::string& fault_path) {
+    if (!journal || !journal->ok()) return;
+    JournalEntry e;
+    e.index = index;
+    e.seed = seed;
+    e.signature = guard.outcome.signature;
+    e.hook_hits = guard.outcome.hook_hits;
+    e.status = guard.status;
+    e.retries = guard.retries;
+    e.keys = guard.outcome.keys;
+    e.errors = guard.outcome.errors;
+    e.schedule_path = sched_path;
+    e.faultplan_path = fault_path;
+    e.certificates = guard.outcome.provenance.certificates.size();
+    e.certificates_verified = guard.outcome.provenance.verified;
+    journal->record(e);
+  };
+
+  // Replay one journaled schedule into the aggregates without running it.
+  // Certificate *objects* were not journaled, so only their counts carry
+  // over (SweepConfig::journal_path documents this).
+  auto resume_entry = [&](const JournalEntry& e) {
+    if (e.index < 0) result.baseline_keys = e.keys;
+    RunOutcome outcome;
+    outcome.keys = e.keys;
+    outcome.signature = e.signature;
+    outcome.hook_hits = e.hook_hits;
+    outcome.errors = e.errors;
+    if (!e.schedule_path.empty()) {
+      Schedule::load(e.schedule_path, &outcome.schedule);
+    }
+    if (!e.faultplan_path.empty()) {
+      faults::FaultPlan::load(e.faultplan_path, &outcome.faultplan);
+    }
+    note_run(outcome, e.index, e.seed);
+    result.certificates += e.certificates;
+    result.certificates_verified += e.certificates_verified;
+    result.retries += e.retries;
+    ++result.resumed;
+    if (e.status != "ok") {
+      QuarantinedSchedule q;
+      q.index = e.index;
+      q.seed = e.seed;
+      q.status = e.status;
+      q.reason = "journaled " + e.status + " (see quarantine artifacts)";
+      q.retries = e.retries;
+      q.schedule_path = e.schedule_path;
+      q.faultplan_path = e.faultplan_path;
+      if (e.status == "timeout") ++result.timeouts;
+      else ++result.crashes;
+      result.quarantined.push_back(std::move(q));
+    }
+  };
+
+  // One attempted (non-pruned) schedule: resume from the journal when its
+  // record survived, else run guarded, quarantine terminal failures, and
+  // checkpoint the record.
+  auto attempt = [&](const Options& opts, int index, std::uint64_t seed,
+                     std::uint64_t fault_seed) {
+    if (auto it = journaled.find(index); it != journaled.end()) {
+      resume_entry(it->second);
+      return;
+    }
+    GuardedRun guard = run_guarded(opts, rank_main, true, fault_seed);
+    result.retries += guard.retries;
+    if (index < 0) result.baseline_keys = guard.outcome.keys;
+    // A timed-out run still analyzed its partial trace; a crashed one has an
+    // empty outcome — note_run keeps the coverage curve aligned either way.
+    auto paths = note_run(guard.outcome, index, seed);
+    if (guard.status != "ok") {
+      quarantine(result, guard, index, seed, opts);
+      const QuarantinedSchedule& q = result.quarantined.back();
+      if (!q.schedule_path.empty()) paths.first = q.schedule_path;
+      if (!q.faultplan_path.empty()) paths.second = q.faultplan_path;
+    }
+    journal_record(index, seed, guard, paths.first, paths.second);
   };
 
   if (cfg_.run_baseline) {
     Options off;
     off.enabled = false;
-    const RunOutcome baseline = run_once(off, rank_main, true);
-    result.baseline_keys = baseline.keys;
-    note_run(baseline, -1, 0);
+    attempt(off, -1, 0, 0);
   }
 
   // Static fingerprint pruning: with guidance, a guided run's pick stream is
   // a pure function of the seed; two seeds with equal fingerprints make the
   // same picks, so their runs can only differ by permuting pairs the static
   // analysis proved ordered — redundant schedules, skipped with a reason.
+  // (Pruning re-derives identically on resume: it never consults the
+  // journal, only the deterministic fingerprint stream.)
   obs::Counter& pruned_counter =
       obs::Registry::global().counter("explore.pruned_schedules");
   std::set<std::uint64_t> fingerprints;
@@ -195,8 +459,12 @@ SweepResult Sweeper::run(const RankMain& rank_main) {
         continue;
       }
     }
-    const RunOutcome outcome = run_once(opts, rank_main, true);
-    note_run(outcome, i, opts.seed);
+    const std::uint64_t fault_seed =
+        cfg_.vary_fault_seed && cfg_.session.faults.enabled &&
+                !cfg_.session.faults.replay
+            ? cfg_.session.faults.seed + static_cast<std::uint64_t>(i)
+            : 0;
+    attempt(opts, i, opts.seed, fault_seed);
     if (cfg_.stop_on_first_new && result.first_new_schedule >= 0) break;
   }
 
@@ -221,6 +489,10 @@ void Sweeper::minimize_findings(SweepResult& result,
     if (f.schedule_index < 0 || f.schedule.empty()) continue;
     diagnose::MinimizeOptions mopts;
     mopts.max_replays = cfg_.minimize_max_replays;
+    // In a fault-injection sweep the oracle must replay the finding's own
+    // faults, not draw fresh ones, or reproduction becomes a coin flip.
+    const faults::FaultPlan* fp =
+        cfg_.session.faults.enabled ? &f.faultplan : nullptr;
     const diagnose::MinimizeResult min = diagnose::ddmin_schedule(
         f.schedule,
         [&](const Schedule& candidate) {
@@ -228,7 +500,7 @@ void Sweeper::minimize_findings(SweepResult& result,
           opts.enabled = true;
           opts.seed = candidate.seed;
           opts.replay = std::make_shared<Schedule>(candidate);
-          return run_once(opts, rank_main, false).keys.count(f.key) > 0;
+          return run_once(opts, rank_main, false, 0, fp).keys.count(f.key) > 0;
         },
         mopts);
     f.minimized = min.schedule;
@@ -248,12 +520,13 @@ void Sweeper::minimize_findings(SweepResult& result,
 }
 
 std::set<std::string> Sweeper::replay(const Schedule& schedule,
-                                      const RankMain& rank_main) {
+                                      const RankMain& rank_main,
+                                      const faults::FaultPlan* faultplan) {
   Options opts;
   opts.enabled = true;
   opts.seed = schedule.seed;
   opts.replay = std::make_shared<Schedule>(schedule);
-  return run_once(opts, rank_main, false).keys;
+  return run_once(opts, rank_main, false, 0, faultplan).keys;
 }
 
 }  // namespace home::explore

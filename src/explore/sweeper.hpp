@@ -18,7 +18,9 @@
 #include "src/diagnose/certificate.hpp"
 #include "src/diagnose/provenance.hpp"
 #include "src/explore/hooks.hpp"
+#include "src/explore/journal.hpp"
 #include "src/explore/strategy.hpp"
+#include "src/faults/plan.hpp"
 #include "src/home/session.hpp"
 #include "src/simmpi/universe.hpp"
 
@@ -60,6 +62,30 @@ struct SweepConfig {
   /// When nonempty, minimized schedules are saved as
   /// <dir>/seed<seed>.min.schedule (directory must exist).
   std::string min_schedule_dir;
+  // --- resilience (ISSUE-10) ----------------------------------------------
+  /// Per-schedule wall-clock watchdog (ms; 0 = off).  A schedule that
+  /// exceeds it is torn down via simmpi::request_abort within one poll
+  /// interval and classified through the DeadlockMonitor's wait-for graph.
+  int schedule_timeout_ms = 0;
+  /// Bounded retry for crashed/hung schedules: up to max_retries re-runs
+  /// with exponential backoff (retry_backoff_ms, doubled per attempt).
+  int max_retries = 0;
+  int retry_backoff_ms = 50;
+  /// When nonempty, schedules that still fail after the retries get their
+  /// reproduction artifacts persisted here (seed<seed>.schedule /
+  /// .faultplan / .reason.txt; directory must exist).
+  std::string quarantine_dir;
+  /// When nonempty, every completed schedule is checkpointed to this
+  /// append-only journal, and a rerun with the same journal *resumes*:
+  /// journaled schedules are replayed from their records instead of
+  /// executed, reproducing the uninterrupted sweep's key set and coverage
+  /// aggregates.  (Certificate *objects* are not journaled — resume a
+  /// diagnose sweep only for its key/coverage aggregates.)
+  std::string journal_path;
+  /// Vary the fault-injection seed per schedule (faults.seed + index) when
+  /// SessionConfig::faults is enabled in generate mode, so a sweep explores
+  /// the fault space alongside the schedule space.
+  bool vary_fault_seed = true;
 };
 
 /// One unique violation key and the earliest schedule that produced it.
@@ -79,6 +105,23 @@ struct SweepFinding {
   bool minimized_verified = false;
   int minimize_replays = 0;
   std::string min_schedule_path;  ///< set when saved to min_schedule_dir.
+  /// Fault plan of the first-seen run (saved to schedule_dir as
+  /// seed<seed>.faultplan when fault injection was on) — replaying the
+  /// finding needs the schedule AND the faults that shaped it.
+  faults::FaultPlan faultplan;
+  std::string faultplan_path;
+};
+
+/// A schedule that kept failing (hang or crash) through all retries; its
+/// reproduction artifacts are persisted under SweepConfig::quarantine_dir.
+struct QuarantinedSchedule {
+  int index = -1;
+  std::uint64_t seed = 0;
+  std::string status;  ///< "timeout" | "crash".
+  std::string reason;  ///< watchdog diagnosis or exception message.
+  int retries = 0;     ///< attempts beyond the first.
+  std::string schedule_path;
+  std::string faultplan_path;
 };
 
 /// A schedule the sweep skipped without running, with the static reason.
@@ -108,6 +151,13 @@ struct SweepResult {
   std::size_t certificates_verified = 0;  ///< paranoid passes.
   std::vector<std::string> certificate_failures;  ///< paranoid failures.
   int minimize_replays = 0;               ///< replays spent by ddmin, total.
+  // --- resilience aggregates (ISSUE-10) -----------------------------------
+  std::vector<QuarantinedSchedule> quarantined;
+  int timeouts = 0;      ///< schedules whose final attempt hit the watchdog.
+  int crashes = 0;       ///< schedules whose final attempt threw.
+  int retries = 0;       ///< total re-run attempts across all schedules.
+  int resumed = 0;       ///< schedules replayed from the journal, not run.
+  std::size_t journal_torn_blocks = 0;  ///< discarded torn journal records.
 
   /// Keys the sweep found that the baseline run did not.
   std::size_t new_vs_baseline() const;
@@ -124,8 +174,13 @@ class Sweeper {
   SweepResult run(const RankMain& rank_main);
 
   /// Replay one recorded schedule; returns the run's violation key set.
+  /// When `faultplan` is non-null the run replays exactly those faults (an
+  /// empty plan replays none) instead of generating from the session spec —
+  /// a finding from a fault-injection sweep only reproduces with both its
+  /// schedule and its faultplan.
   std::set<std::string> replay(const Schedule& schedule,
-                               const RankMain& rank_main);
+                               const RankMain& rank_main,
+                               const faults::FaultPlan* faultplan = nullptr);
 
  private:
   struct RunOutcome {
@@ -135,12 +190,31 @@ class Sweeper {
     std::uint64_t hook_hits = 0;
     std::vector<std::string> errors;
     diagnose::ProvenanceReport provenance;
+    faults::FaultPlan faultplan;  ///< injected faults (empty when off).
+    bool timed_out = false;       ///< watchdog aborted this run.
+    std::string hang_diagnosis;   ///< DeadlockMonitor classification.
+  };
+
+  /// One watchdog-guarded attempt sequence: run, retry on hang/crash with
+  /// backoff, and report the final status ("ok" | "timeout" | "crash").
+  struct GuardedRun {
+    RunOutcome outcome;
+    std::string status = "ok";
+    std::string failure;
+    int retries = 0;
   };
 
   /// `with_diagnose` lets the minimization-replay oracle skip certificate
-  /// construction (a replay only needs the key set).
+  /// construction (a replay only needs the key set).  `fault_seed` overrides
+  /// SessionConfig::faults.seed when nonzero (generate mode only);
+  /// `fault_replay` forces fault-replay mode with exactly that plan.
   RunOutcome run_once(const Options& opts, const RankMain& rank_main,
-                      bool with_diagnose);
+                      bool with_diagnose, std::uint64_t fault_seed = 0,
+                      const faults::FaultPlan* fault_replay = nullptr);
+  GuardedRun run_guarded(const Options& opts, const RankMain& rank_main,
+                         bool with_diagnose, std::uint64_t fault_seed);
+  void quarantine(SweepResult& result, const GuardedRun& guard, int index,
+                  std::uint64_t seed, const Options& opts);
   void minimize_findings(SweepResult& result, const RankMain& rank_main);
 
   SweepConfig cfg_;

@@ -1,5 +1,7 @@
 #include "src/home/check.hpp"
 
+#include <sstream>
+
 #include "src/homp/runtime.hpp"
 #include "src/spec/matcher.hpp"
 #include "src/spec/monitored.hpp"
@@ -58,6 +60,30 @@ Report analyze_trace(const trace::LoadedTrace& loaded, const SessionConfig& cfg)
 
 Report analyze_trace_file(const std::string& path, const SessionConfig& cfg) {
   return analyze_trace(trace::load_trace_file(path), cfg);
+}
+
+Report analyze_salvaged_trace(const trace::LoadedTrace& loaded,
+                              const trace::WalSalvage& salvage,
+                              const SessionConfig& cfg) {
+  Report report = analyze_trace(loaded, cfg);
+  if (!salvage.clean()) {
+    std::ostringstream reason;
+    reason << "WAL salvage: recovered " << salvage.events << " events ("
+           << salvage.frames << " frames, " << salvage.bytes_recovered
+           << " bytes); discarded " << salvage.corrupt_frames
+           << " corrupt frame(s), " << salvage.bytes_discarded << " bytes";
+    if (salvage.missing_header) reason << "; header missing";
+    report.mark_degraded(reason.str());
+  }
+  return report;
+}
+
+Report analyze_wal_file(const std::string& path, const SessionConfig& cfg,
+                        trace::WalSalvage* salvage_out) {
+  trace::WalSalvage salvage;
+  const trace::LoadedTrace loaded = trace::salvage_wal_file(path, &salvage);
+  if (salvage_out != nullptr) *salvage_out = salvage;
+  return analyze_salvaged_trace(loaded, salvage, cfg);
 }
 
 }  // namespace home

@@ -9,6 +9,7 @@
 #include "src/home/session.hpp"
 #include "src/simmpi/universe.hpp"
 #include "src/trace/trace_io.hpp"
+#include "src/trace/wal.hpp"
 
 namespace home {
 
@@ -47,5 +48,18 @@ Report analyze_trace(const trace::LoadedTrace& loaded,
 /// Convenience: load the trace file and analyze it.
 Report analyze_trace_file(const std::string& path,
                           const SessionConfig& cfg = {});
+
+/// Degraded-mode analysis over a trace recovered by the WAL salvage loader:
+/// runs the normal pipeline over whatever survived, then tags the report
+/// Verdict::kDegraded (with exact damage accounting in the reasons) unless
+/// the salvage was clean.
+Report analyze_salvaged_trace(const trace::LoadedTrace& loaded,
+                              const trace::WalSalvage& salvage,
+                              const SessionConfig& cfg = {});
+
+/// Convenience: salvage a (possibly torn) WAL file and analyze the longest
+/// valid prefix.  `salvage_out` (may be null) receives the damage report.
+Report analyze_wal_file(const std::string& path, const SessionConfig& cfg = {},
+                        trace::WalSalvage* salvage_out = nullptr);
 
 }  // namespace home

@@ -79,6 +79,12 @@ std::size_t FinalReport::count(Confirmation confirmation) const {
 std::string FinalReport::to_string() const {
   std::ostringstream os;
   os << "=== HOME final report (static + dynamic) ===\n";
+  if (degraded()) {
+    os << "!! DEGRADED dynamic phase — unconfirmed classes are inconclusive:\n";
+    for (const std::string& reason : degraded_reasons_) {
+      os << "!!   " << reason << "\n";
+    }
+  }
   if (entries_.empty()) {
     os << "no thread-safety issues found by either phase\n";
     return os.str();
@@ -138,7 +144,8 @@ FinalReport merge_reports(const std::vector<sast::StaticWarning>& warnings,
     }
     entries.push_back(std::move(entry));
   }
-  return FinalReport(std::move(entries));
+  return FinalReport(std::move(entries), dynamic_report.verdict(),
+                     dynamic_report.degraded_reasons());
 }
 
 }  // namespace home

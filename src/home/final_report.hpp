@@ -45,14 +45,31 @@ class FinalReport {
  public:
   explicit FinalReport(std::vector<FinalEntry> entries)
       : entries_(std::move(entries)) {}
+  FinalReport(std::vector<FinalEntry> entries, Verdict verdict,
+              std::vector<std::string> degraded_reasons)
+      : entries_(std::move(entries)),
+        verdict_(verdict),
+        degraded_reasons_(std::move(degraded_reasons)) {}
 
   const std::vector<FinalEntry>& entries() const { return entries_; }
   std::size_t count(Confirmation confirmation) const;
   bool clean() const { return entries_.empty(); }
+
+  /// Confidence carried over from the dynamic phase: a degraded dynamic
+  /// report (salvaged trace, unrecovered shed events) makes every
+  /// "not observed at runtime" judgement here inconclusive too.
+  Verdict verdict() const { return verdict_; }
+  bool degraded() const { return verdict_ == Verdict::kDegraded; }
+  const std::vector<std::string>& degraded_reasons() const {
+    return degraded_reasons_;
+  }
+
   std::string to_string() const;
 
  private:
   std::vector<FinalEntry> entries_;
+  Verdict verdict_ = Verdict::kExact;
+  std::vector<std::string> degraded_reasons_;
 };
 
 /// Merge the two phases' findings. Violation classes are joined; within a

@@ -202,6 +202,18 @@ std::string render_html(const FinalReport& final_report, const ReportStats& stat
      << "</style></head><body>\n";
   os << "<h1>" << html_escape(title) << "</h1>\n";
 
+  if (final_report.degraded()) {
+    os << "<div style=\"background:#fff3cd;border:1px solid #d39e00;"
+          "border-radius:.4em;padding:.8em 1em;margin-bottom:1em\">\n"
+       << "<strong>&#9888; Degraded analysis</strong> &mdash; part of the "
+          "event stream was lost; reported findings are real, but absence of "
+          "a finding is inconclusive.<ul>\n";
+    for (const std::string& reason : final_report.degraded_reasons()) {
+      os << "<li>" << html_escape(reason) << "</li>\n";
+    }
+    os << "</ul></div>\n";
+  }
+
   os << "<p class=\"stats\">trace events: " << stats.trace_events
      << " &middot; instrumented calls: " << stats.instrumented_calls
      << " &middot; skipped (filtered) calls: " << stats.skipped_calls

@@ -5,6 +5,15 @@
 
 namespace home {
 
+const char* verdict_name(Verdict verdict) {
+  return verdict == Verdict::kDegraded ? "degraded" : "exact";
+}
+
+void Report::mark_degraded(std::string reason) {
+  verdict_ = Verdict::kDegraded;
+  degraded_reasons_.push_back(std::move(reason));
+}
+
 std::size_t Report::count(spec::ViolationType type) const {
   std::size_t n = 0;
   for (const auto& v : violations_) {
@@ -22,6 +31,12 @@ std::size_t Report::distinct_types() const {
 std::string Report::to_string() const {
   std::ostringstream os;
   os << "=== HOME thread-safety report ===\n";
+  if (degraded()) {
+    os << "!! DEGRADED analysis — results are a lower bound:\n";
+    for (const std::string& reason : degraded_reasons_) {
+      os << "!!   " << reason << "\n";
+    }
+  }
   os << "events=" << stats_.trace_events
      << " instrumented=" << stats_.instrumented_calls
      << " skipped=" << stats_.skipped_calls

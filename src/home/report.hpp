@@ -3,12 +3,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/spec/violations.hpp"
 
 namespace home {
+
+/// Confidence tag for an analysis result (ISSUE-10 degraded-mode analysis).
+/// kExact: the analysis saw the complete event stream.  kDegraded: part of
+/// the input was lost (torn/salvaged trace, shed online events without a
+/// recovery trace) — reported violations are real, but *absence* of a
+/// violation is no longer conclusive.
+enum class Verdict : std::uint8_t {
+  kExact,
+  kDegraded,
+};
+
+const char* verdict_name(Verdict verdict);
 
 struct ReportStats {
   std::size_t trace_events = 0;
@@ -37,11 +50,23 @@ class Report {
   /// count one per injected violation class).
   std::size_t distinct_types() const;
 
+  /// Degrade this report's confidence, with a human-readable reason
+  /// ("WAL salvage: 3 corrupt frames, 120 bytes discarded").  Additive;
+  /// a report never un-degrades.
+  void mark_degraded(std::string reason);
+  Verdict verdict() const { return verdict_; }
+  bool degraded() const { return verdict_ == Verdict::kDegraded; }
+  const std::vector<std::string>& degraded_reasons() const {
+    return degraded_reasons_;
+  }
+
   std::string to_string() const;
 
  private:
   std::vector<spec::Violation> violations_;
   ReportStats stats_;
+  Verdict verdict_ = Verdict::kExact;
+  std::vector<std::string> degraded_reasons_;
 };
 
 }  // namespace home

@@ -1,6 +1,7 @@
 #include "src/home/session.hpp"
 
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "src/homp/runtime.hpp"
@@ -42,9 +43,12 @@ Session::~Session() {
   if (attached_) {
     homp::clear_instrumentation();
     explore::uninstall();
+    faults::uninstall();
   }
+  if (injector_) injector_->quiesce();
   // Unsubscribe before the analyzer (declared after log_) is destroyed.
   log_.set_sink(nullptr);
+  if (wal_) wal_->close();
 }
 
 void Session::configure(simmpi::UniverseConfig& ucfg) {
@@ -63,7 +67,23 @@ void Session::configure(simmpi::UniverseConfig& ucfg) {
     analyzer_ = std::make_unique<online::OnlineAnalyzer>(
         std::move(ocfg), &log_.strings(), &registry_);
     log_.set_streaming_only(!cfg_.online.retain_trace);
+  }
+  if (!cfg_.wal_path.empty() && !wal_) {
+    wal_ = std::make_unique<trace::WalWriter>(cfg_.wal_path, &log_.strings());
+  }
+  // Single sink slot: WAL alone, analyzer alone, or a tee over both.  The
+  // WAL comes first in the tee so an event reaches durable storage before
+  // the analyzer's queue can block or shed it.
+  if (wal_ && analyzer_) {
+    if (tee_.size() == 0) {
+      tee_.add(wal_.get());
+      tee_.add(analyzer_.get());
+    }
+    log_.set_sink(&tee_);
+  } else if (analyzer_) {
     log_.set_sink(analyzer_.get());
+  } else if (wal_) {
+    log_.set_sink(wal_.get());
   }
 }
 
@@ -82,6 +102,15 @@ void Session::attach(simmpi::Universe& universe) {
     explorer_ = std::make_unique<explore::Explorer>(std::move(strategy));
   }
   if (explorer_) explore::install(explorer_.get());
+  if (cfg_.faults.enabled && !injector_) {
+    // Replay precedence mirrors the explorer: a recorded plan is applied
+    // exactly and the generating spec/seed are ignored.
+    injector_ = cfg_.faults.replay
+                    ? std::make_unique<faults::Injector>(*cfg_.faults.replay)
+                    : std::make_unique<faults::Injector>(cfg_.faults.spec,
+                                                         cfg_.faults.seed);
+  }
+  if (injector_) faults::install(injector_.get());
   attached_ = true;
 }
 
@@ -89,6 +118,10 @@ void Session::detach(simmpi::Universe& universe) {
   universe.hooks().remove(wrappers_.get());
   homp::clear_instrumentation();
   explore::uninstall();
+  faults::uninstall();
+  // Deliver any still-parked (dropped) messages now, while the universe the
+  // redelivery thunks capture is still alive.
+  if (injector_) injector_->quiesce();
   attached_ = false;
 }
 
@@ -98,6 +131,11 @@ explore::Schedule Session::recorded_schedule() const {
   schedule.strategy = explorer_->strategy().name();
   schedule.seed = cfg_.explore.seed;
   return schedule;
+}
+
+faults::FaultPlan Session::recorded_fault_plan() const {
+  if (!injector_) return faults::FaultPlan{};
+  return injector_->plan();
 }
 
 void Session::save_trace(const std::string& path) const {
@@ -163,20 +201,47 @@ Report Session::analyze() {
   return Report(std::move(violations), stats);
 }
 
+namespace {
+
+// "shed 120 event(s) in 3 window(s) [seq 17..44, 102..130, 419..441]".
+std::string shed_summary(const std::vector<online::ShedWindow>& shed) {
+  std::size_t total = 0;
+  for (const online::ShedWindow& w : shed) total += w.count;
+  std::ostringstream os;
+  os << "shed " << total << " event(s) in " << shed.size() << " window(s) [";
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < shed.size() && i < kMaxListed; ++i) {
+    if (i > 0) os << ", ";
+    os << "seq " << shed[i].first << ".." << shed[i].last;
+  }
+  if (shed.size() > kMaxListed) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
 Report Session::analyze_online() {
   obs::Span span("session.analyze");
   util::Stopwatch timer;
 
-  // Stop subscribing and drain the streaming engine.
+  // Stop subscribing and drain the streaming engine.  The WAL (if any) is
+  // complete at this point — close it so the salvage path below sees every
+  // frame, including the events the analyzer's queue shed.
   log_.set_sink(nullptr);
+  if (wal_) wal_->close();
   analyzer_->finish();
   std::vector<spec::Violation> violations = analyzer_->violations();
   const online::OnlineStats ostats = analyzer_->stats();
+  const std::vector<online::ShedWindow> shed = analyzer_->shed_windows();
+  std::vector<std::string> degraded_reasons;
 
   // Both reconciliation and online provenance ride the same post-mortem
   // pass over the retained trace (certificates need a full HB index, which
-  // the streaming engine retires incrementally).
-  if ((cfg_.online.reconcile || cfg_.diagnose.enabled) &&
+  // the streaming engine retires incrementally).  Shed recovery rides it
+  // too: the shard append is independent of the analyzer's queue, so the
+  // retained trace holds the shed events and the pass over it is exact.
+  if ((cfg_.online.reconcile || cfg_.diagnose.enabled || !shed.empty()) &&
       cfg_.online.retain_trace) {
     detect::RaceDetector detector(make_detector_config(cfg_));
     detect::ConcurrencyReport concurrency =
@@ -219,6 +284,42 @@ Report Session::analyze_online() {
           diagnose_hb_config(cfg_), cfg_.diagnose,
           explorer_ ? &schedule : nullptr);
     }
+
+    if (!shed.empty()) {
+      // Recovery: adopt the post-mortem verdicts — computed over the
+      // complete retained trace, they cover the shed windows exactly, so
+      // the report stays kExact.  (Reconciliation above intentionally
+      // compared the *online* list; its post_mortem_only entries show what
+      // shedding cost the streaming engine.)
+      violations = std::move(post_mortem);
+    }
+  } else if (!shed.empty() && wal_) {
+    // No retained trace, but the write-ahead copy has every emitted event,
+    // including the shed ones.  Salvage it and re-analyze; exact when the
+    // salvage is clean, degraded when the WAL itself is torn.
+    trace::WalSalvage salvage;
+    const trace::LoadedTrace loaded =
+        trace::salvage_wal_file(wal_->path(), &salvage);
+    detect::RaceDetector detector(make_detector_config(cfg_));
+    detect::ConcurrencyReport concurrency = detector.analyze(loaded.events);
+    trace::StringTable strings;
+    for (const std::string& s : loaded.strings) strings.intern(s);
+    spec::Matcher matcher(&strings);
+    violations = matcher.match(concurrency);
+    if (!salvage.clean()) {
+      std::ostringstream reason;
+      reason << "online " << shed_summary(shed)
+             << "; WAL recovery incomplete: discarded " << salvage.corrupt_frames
+             << " corrupt frame(s), " << salvage.bytes_discarded << " bytes";
+      degraded_reasons.push_back(reason.str());
+    }
+  } else if (!shed.empty()) {
+    // Shed events with no recovery source: the findings stand, but absence
+    // of a finding is inconclusive.  Report the exact loss.
+    degraded_reasons.push_back(
+        "online " + shed_summary(shed) +
+        "; no retained trace or WAL to recover from — results are a lower "
+        "bound");
   }
 
   ReportStats stats;
@@ -229,7 +330,11 @@ Report Session::analyze_online() {
   stats.concurrent_variables = ostats.concurrent_variables;
   stats.concurrent_pairs = ostats.concurrent_pairs;
   stats.analysis_seconds = timer.elapsed_seconds();
-  return Report(std::move(violations), stats);
+  Report report(std::move(violations), stats);
+  for (std::string& reason : degraded_reasons) {
+    report.mark_degraded(std::move(reason));
+  }
+  return report;
 }
 
 std::string Session::telemetry_summary() const { return obs::summary_table(); }

@@ -20,11 +20,13 @@
 #include "src/diagnose/provenance.hpp"
 #include "src/explore/hooks.hpp"
 #include "src/explore/strategy.hpp"
+#include "src/faults/injector.hpp"
 #include "src/home/report.hpp"
 #include "src/home/wrappers.hpp"
 #include "src/online/online_analyzer.hpp"
 #include "src/simmpi/universe.hpp"
 #include "src/spec/message_race.hpp"
+#include "src/trace/wal.hpp"
 
 namespace home {
 
@@ -60,6 +62,20 @@ struct Reconciliation {
   std::vector<std::string> post_mortem_only;
 };
 
+/// Seeded fault injection (off by default).  When enabled the session
+/// installs a faults::Injector for the attach()..detach() window; the
+/// decisions it takes are recorded as a replayable FaultPlan
+/// (Session::recorded_fault_plan()).
+struct FaultOptions {
+  bool enabled = false;
+  /// Per-kind probabilities and magnitudes (generate mode).
+  faults::FaultSpec spec;
+  std::uint64_t seed = 1;
+  /// Replay a recorded plan exactly instead of drawing fresh decisions
+  /// (takes precedence over spec/seed, mirroring explore::Options::replay).
+  std::shared_ptr<const faults::FaultPlan> replay;
+};
+
 struct SessionConfig {
   detect::DetectorMode detector = detect::DetectorMode::kHybrid;
   InstrumentFilter filter = InstrumentFilter::kParallelOnly;
@@ -86,6 +102,12 @@ struct SessionConfig {
   /// for every reported violation (off by default; `paranoid` additionally
   /// re-verifies each certificate through the independent replay oracle).
   diagnose::Options diagnose;
+  /// Seeded fault injection at the runtime hook points (off by default).
+  FaultOptions faults;
+  /// Crash-safe write-ahead copy of the event stream: every emitted event is
+  /// framed, CRC'd and flushed to this file as it happens, so a crashed run
+  /// leaves a salvageable trace (analyze_wal_file).  Empty = no WAL.
+  std::string wal_path;
 };
 
 /// The HB configuration the detector's pipeline uses for a SessionConfig —
@@ -136,6 +158,17 @@ class Session {
   /// the config (empty Schedule when exploration is off).
   explore::Schedule recorded_schedule() const;
 
+  /// The fault injector (null unless config().faults.enabled; live from
+  /// attach() until the Session dies — the recorded plan survives detach()).
+  faults::Injector* injector() { return injector_.get(); }
+
+  /// The faults actually injected so far (empty FaultPlan when injection is
+  /// off) — save() it to get a replayable *.faultplan artifact.
+  faults::FaultPlan recorded_fault_plan() const;
+
+  /// The write-ahead trace writer (null unless config().wal_path is set).
+  const trace::WalWriter* wal() const { return wal_.get(); }
+
   /// Persist this session's execution log for later offline analysis.
   void save_trace(const std::string& path) const;
 
@@ -164,6 +197,10 @@ class Session {
   /// thread while the log it subscribes to is still alive).
   std::unique_ptr<online::OnlineAnalyzer> analyzer_;
   std::unique_ptr<explore::Explorer> explorer_;
+  std::unique_ptr<faults::Injector> injector_;
+  std::unique_ptr<trace::WalWriter> wal_;
+  /// Fans the log's single sink slot out to {wal_, analyzer_} when both run.
+  trace::TeeSink tee_;
   Reconciliation reconciliation_;
   diagnose::ProvenanceReport provenance_;
   bool attached_ = false;

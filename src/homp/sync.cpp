@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/explore/hooks.hpp"
+#include "src/faults/injector.hpp"
 #include "src/homp/runtime.hpp"
 #include "src/simmpi/universe.hpp"
 
@@ -44,6 +45,12 @@ void Lock::lock() {
   }
   mu_.lock();
   internal::note_acquired(id_);
+  // Lock-holder pause fault: widen the critical section while *holding* the
+  // mutex, the classic way a preempted holder starves its peers.
+  if (faults::active()) {
+    const simmpi::Process* process = simmpi::Universe::current();
+    faults::lock_holder_point(process ? process->rank() : -1, "homp.lock");
+  }
   if (instrumentation().log) {
     trace::Event e;
     e.tid = instrumentation().registry ? instrumentation().registry->current_tid()
@@ -117,6 +124,10 @@ void critical(const std::string& name, const std::function<void()>& body) {
                          process ? process->rank() : -1, name.c_str());
   }
   LockGuard guard(critical_lock(name));
+  if (faults::active()) {
+    const simmpi::Process* process = simmpi::Universe::current();
+    faults::lock_holder_point(process ? process->rank() : -1, name.c_str());
+  }
   body();
 }
 

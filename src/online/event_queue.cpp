@@ -39,7 +39,7 @@ const char* backpressure_policy_name(BackpressurePolicy policy) {
 EventQueue::EventQueue(std::size_t capacity, BackpressurePolicy policy)
     : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
 
-bool EventQueue::push(trace::Event e) {
+PushOutcome EventQueue::push_accounted(trace::Event e) {
   std::unique_lock<std::mutex> lock(mu_);
   if (policy_ == BackpressurePolicy::kBlock && q_.size() >= capacity_ &&
       !closed_) {
@@ -56,12 +56,12 @@ bool EventQueue::push(trace::Event e) {
   if (closed_) {
     ++dropped_shutdown_;
     queue_metrics().drops_shutdown.add(1);
-    return false;
+    return PushOutcome::kDroppedShutdown;
   }
   if (q_.size() >= capacity_) {
     ++dropped_capacity_;
     queue_metrics().drops_capacity.add(1);
-    return false;
+    return PushOutcome::kShedCapacity;
   }
   q_.push_back(std::move(e));
   if (q_.size() > max_depth_) {
@@ -70,7 +70,7 @@ bool EventQueue::push(trace::Event e) {
   }
   lock.unlock();
   not_empty_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 bool EventQueue::pop(trace::Event* out) {

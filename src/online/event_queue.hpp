@@ -37,13 +37,27 @@ enum class BackpressurePolicy {
 
 const char* backpressure_policy_name(BackpressurePolicy policy);
 
+/// What happened to a pushed event — the cause split the shed-accounting
+/// machinery needs (a capacity shed is recoverable from a retained trace or
+/// WAL; a shutdown drop means the emitter outlived the session).
+enum class PushOutcome : std::uint8_t {
+  kAccepted,
+  kShedCapacity,     ///< kDropNewest on a full queue.
+  kDroppedShutdown,  ///< push after close().
+};
+
 class EventQueue {
  public:
   EventQueue(std::size_t capacity, BackpressurePolicy policy);
 
   /// Enqueue one event.  Returns false if the event was dropped (kDropNewest
   /// on a full queue) or the queue is closed.
-  bool push(trace::Event e);
+  bool push(trace::Event e) {
+    return push_accounted(std::move(e)) == PushOutcome::kAccepted;
+  }
+
+  /// Enqueue with cause reporting (the shedding path).
+  PushOutcome push_accounted(trace::Event e);
 
   /// Dequeue one event, blocking while the queue is open and empty.
   /// Returns false once the queue is closed and drained.

@@ -1,0 +1,81 @@
+// Cooperative run abort (ISSUE-10 sweep robustness).
+//
+// A hung run used to be bounded only by block_timeout_ms per blocking call —
+// a watchdog that decides a schedule is dead had no way to tear it down any
+// faster.  request_abort() raises a process-global flag; every blocking
+// simmpi wait goes through abortable_wait(), which slices its condition wait
+// into kAbortPollMs chunks and throws AbortError as soon as the flag is up.
+// Universe::run catches the error per rank (like TimeoutError), so an abort
+// collapses the whole run within one poll interval instead of one timeout.
+//
+// The flag is process-global (one Universe runs at a time — the same
+// invariant the explore:: and faults:: hook slots rely on) and must be
+// clear_abort()ed before the next run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace home::simmpi {
+
+/// Thrown out of a blocking MPI call when the run is being torn down by a
+/// watchdog.  Distinct from TimeoutError so callers can tell "this call
+/// waited too long" from "something else decided the whole run is dead".
+class AbortError : public std::runtime_error {
+ public:
+  explicit AbortError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// How often a blocked call re-checks the abort flag (the abort latency).
+inline constexpr int kAbortPollMs = 20;
+
+/// Raise the abort flag with a human-readable reason.  Idempotent; the first
+/// reason wins.  Thread-safe.
+void request_abort(const std::string& reason);
+
+/// Lower the flag (call between runs).  Thread-safe.
+void clear_abort();
+
+bool abort_requested();
+std::string abort_reason();
+
+namespace internal {
+inline std::atomic<bool>& abort_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+/// Abort-aware condition wait shared by every blocking simmpi site.
+/// Semantics match cv.wait/wait_for(pred): returns true when pred held,
+/// false on timeout (timeout_ms > 0; <= 0 waits forever).  Checks the abort
+/// flag every kAbortPollMs and throws AbortError when it is up.  `lock` must
+/// hold the mutex guarding pred's state.
+template <typename Pred>
+bool abortable_wait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lock, int timeout_ms,
+                    Pred&& pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (pred()) return true;
+    if (internal::abort_flag().load(std::memory_order_acquire)) {
+      throw AbortError("run aborted: " + abort_reason());
+    }
+    auto slice = std::chrono::milliseconds(kAbortPollMs);
+    if (timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      if (left < slice) slice = left + std::chrono::milliseconds(1);
+    }
+    cv.wait_for(lock, slice);
+  }
+}
+
+}  // namespace home::simmpi

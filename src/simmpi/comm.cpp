@@ -3,6 +3,8 @@
 #include <chrono>
 #include <string>
 
+#include "src/simmpi/abort.hpp"
+
 namespace home::simmpi {
 
 int CommImpl::comm_rank_of(int world_rank) const {
@@ -45,14 +47,10 @@ std::shared_ptr<const CollectiveRound> CommImpl::exchange(
     return round;
   }
 
-  if (timeout_ms <= 0) {
-    round->cv.wait(lock, [&] { return round->complete; });
-  } else {
-    if (!round->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                            [&] { return round->complete; })) {
-      throw TimeoutError("collective timed out on comm " + std::to_string(id_) +
-                         " (possible deadlock)");
-    }
+  if (!abortable_wait(round->cv, lock, timeout_ms,
+                      [&] { return round->complete; })) {
+    throw TimeoutError("collective timed out on comm " + std::to_string(id_) +
+                       " (possible deadlock)");
   }
   return round;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/explore/hooks.hpp"
+#include "src/simmpi/abort.hpp"
 
 namespace home::simmpi {
 
@@ -137,13 +138,9 @@ void Mailbox::probe(int src, int tag, CommId comm, Status* status, int timeout_m
     return nullptr;
   };
   const Envelope* found = nullptr;
-  if (timeout_ms <= 0) {
-    cv_.wait(lock, [&] { return (found = match_now()) != nullptr; });
-  } else {
-    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+  if (!abortable_wait(cv_, lock, timeout_ms,
                       [&] { return (found = match_now()) != nullptr; })) {
-      throw TimeoutError("MPI_Probe timed out (possible deadlock)");
-    }
+    throw TimeoutError("MPI_Probe timed out (possible deadlock)");
   }
   if (status && found) {
     status->source = found->src;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/simmpi/abort.hpp"
 #include "src/simmpi/universe.hpp"
 
 namespace home::simmpi {
@@ -14,6 +15,24 @@ std::vector<std::byte> copy_payload(const void* buf, int count, Datatype dt) {
   std::vector<std::byte> payload(nbytes);
   if (nbytes > 0) std::memcpy(payload.data(), buf, nbytes);
   return payload;
+}
+
+/// Route a delivery through the fault injector: an installed Injector may
+/// sleep the sender (kMsgDelay) or park the envelope for its redelivery
+/// worker (kMsgDrop) — the Universe must outlive the injector's quiesce().
+/// With no injector installed this is one relaxed load over a plain deliver.
+void deliver_faulted(Universe& uni, int src_rank, const char* site,
+                     int dest_world, Envelope&& msg) {
+  if (faults::active()) {
+    auto parked = std::make_shared<Envelope>(std::move(msg));
+    auto deliver = [&uni, dest_world, parked] {
+      uni.mailbox(dest_world).deliver(std::move(*parked));
+    };
+    if (faults::message_point(src_rank, site, deliver)) return;  // parked.
+    deliver();
+    return;
+  }
+  uni.mailbox(dest_world).deliver(std::move(msg));
 }
 
 }  // namespace
@@ -50,15 +69,12 @@ Err Process::send(const void* buf, int count, Datatype dt, int dest, int tag,
           uni_->log()->emit(std::move(e));
         }
 
-        uni_->mailbox(dest_world).deliver(std::move(msg));
+        deliver_faulted(*uni_, rank_, "send", dest_world, std::move(msg));
 
         if (token) {
           std::unique_lock<std::mutex> lock(token->mu);
-          const int timeout = uni_->config().block_timeout_ms;
-          if (timeout <= 0) {
-            token->cv.wait(lock, [&] { return token->consumed; });
-          } else if (!token->cv.wait_for(lock, std::chrono::milliseconds(timeout),
-                                         [&] { return token->consumed; })) {
+          if (!abortable_wait(token->cv, lock, uni_->config().block_timeout_ms,
+                              [&] { return token->consumed; })) {
             throw TimeoutError("MPI_Send (rendezvous) timed out: dest=" +
                                std::to_string(dest) + " tag=" + std::to_string(tag));
           }
@@ -148,7 +164,7 @@ Request Process::isend(const void* buf, int count, Datatype dt, int dest, int ta
         // immediately from the caller's point of view.
         auto state = std::make_shared<RequestState>(RequestKind::kSend,
                                                     next_request_id());
-        uni_->mailbox(dest_world).deliver(std::move(msg));
+        deliver_faulted(*uni_, rank_, "isend", dest_world, std::move(msg));
         state->complete(Status{}, Err::kOk);
         return Request(state);
       });
@@ -235,14 +251,11 @@ Err Process::ssend(const void* buf, int count, Datatype dt, int dest, int tag,
           uni_->log()->emit(std::move(e));
         }
 
-        uni_->mailbox(dest_world).deliver(std::move(msg));
+        deliver_faulted(*uni_, rank_, "ssend", dest_world, std::move(msg));
 
         std::unique_lock<std::mutex> lock(token->mu);
-        const int timeout = uni_->config().block_timeout_ms;
-        if (timeout <= 0) {
-          token->cv.wait(lock, [&] { return token->consumed; });
-        } else if (!token->cv.wait_for(lock, std::chrono::milliseconds(timeout),
-                                       [&] { return token->consumed; })) {
+        if (!abortable_wait(token->cv, lock, uni_->config().block_timeout_ms,
+                            [&] { return token->consumed; })) {
           throw TimeoutError("MPI_Ssend timed out: dest=" + std::to_string(dest) +
                              " tag=" + std::to_string(tag));
         }
@@ -288,6 +301,9 @@ int Process::waitany(std::vector<Request>& requests, Status* status,
     }
     if (std::chrono::steady_clock::now() > deadline) {
       throw TimeoutError("MPI_Waitany timed out (possible deadlock)");
+    }
+    if (abort_requested()) {
+      throw AbortError("run aborted: " + abort_reason());
     }
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
@@ -373,7 +389,8 @@ void Process::start(Request& request, const CallOpts& opts) {
              msg.count = info.count;
              msg.msg_id = next_message_id();
              msg.payload = copy_payload(info.send_buf, info.count, info.dt);
-             uni_->mailbox(info.peer_world).deliver(std::move(msg));
+             deliver_faulted(*uni_, rank_, "start", info.peer_world,
+                             std::move(msg));
              state.complete(Status{}, Err::kOk);  // eager send semantics.
            } else {
              uni_->mailbox(rank_).post_recv(request.shared_state());

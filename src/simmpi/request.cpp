@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "src/simmpi/abort.hpp"
+
 namespace home::simmpi {
 
 void RequestState::complete(Status status, Err err) {
@@ -17,14 +19,9 @@ void RequestState::complete(Status status, Err err) {
 
 Err RequestState::wait(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (timeout_ms <= 0) {
-    cv_.wait(lock, [this] { return done_; });
-  } else {
-    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                      [this] { return done_; })) {
-      throw TimeoutError("MPI_Wait timed out (possible deadlock), request " +
-                         std::to_string(id_));
-    }
+  if (!abortable_wait(cv_, lock, timeout_ms, [this] { return done_; })) {
+    throw TimeoutError("MPI_Wait timed out (possible deadlock), request " +
+                       std::to_string(id_));
   }
   return err_;
 }

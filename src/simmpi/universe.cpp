@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/simmpi/abort.hpp"
 #include "src/obs/span.hpp"
 #include "src/util/log.hpp"
 
@@ -42,6 +43,8 @@ RunResult Universe::run(const std::function<void(Process&)>& rank_main) {
                      "construct a fresh Universe for another run");
   }
   ran_ = true;
+  // A stale abort from a previous (torn-down) run must not kill this one.
+  clear_abort();
   RunResult result;
   std::mutex result_mu;
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/explore/hooks.hpp"
+#include "src/faults/injector.hpp"
 #include "src/simmpi/comm.hpp"
 #include "src/simmpi/hooks.hpp"
 #include "src/simmpi/mailbox.hpp"
@@ -261,6 +262,12 @@ auto Process::hooked(CallDesc desc, Body&& body) {
                        desc.callsite != nullptr
                            ? desc.callsite
                            : trace::mpi_call_type_name(desc.type));
+  // Fault hook at the same choice point: an installed Injector may stall
+  // this rank or throw RankCrashError (collected by Universe::run into
+  // RunResult::failed_ranks).  One load + branch when off.
+  faults::mpi_call_point(desc.rank, desc.callsite != nullptr
+                                        ? desc.callsite
+                                        : trace::mpi_call_type_name(desc.type));
   uni_->hooks().begin(desc);
   if constexpr (std::is_void_v<decltype(body())>) {
     body();

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/telemetry.hpp"
+
 namespace home::trace {
 namespace {
 
@@ -67,6 +69,83 @@ void write_trace(std::ostream& out, const TraceLog& log) {
   }
 }
 
+namespace {
+
+/// Caps driven by parsed (untrusted) counts: a corrupt lock count must not
+/// turn into a multi-gigabyte resize before the record is rejected.
+constexpr std::size_t kMaxLocksPerEvent = 1u << 20;
+constexpr std::uint32_t kMaxStringId = 1u << 24;
+constexpr int kMaxEventKind = 64;
+
+/// Parse one "S"/"E" line into `result`.  Returns false on any malformation
+/// — short record, bad tag, absurd counts — leaving `result` untouched by
+/// the failed record.  Shared by the strict and lenient loaders so they
+/// accept exactly the same language.
+bool parse_trace_line(const std::string& line, LoadedTrace* result,
+                      std::string* error) {
+  std::istringstream is(line);
+  std::string tag;
+  is >> tag;
+  if (tag == "S") {
+    std::uint32_t id = 0;
+    std::string text;
+    is >> id >> text;
+    if (is.fail() || id > kMaxStringId) {
+      *error = "trace_io: malformed string record";
+      return false;
+    }
+    if (result->strings.size() <= id) result->strings.resize(id + 1);
+    result->strings[id] = unescape(text);
+    return true;
+  }
+  if (tag != "E") {
+    *error = "trace_io: bad record '" + tag + "'";
+    return false;
+  }
+  Event e;
+  int kind = 0;
+  std::size_t nlocks = 0;
+  is >> e.seq >> e.tid >> e.rank >> kind >> e.obj >> e.aux >> nlocks;
+  // A short E line leaves fail+eof set; iostream extraction "succeeding"
+  // with zero-filled fields is exactly the silent corruption this loader
+  // must refuse.
+  if (is.fail() || kind < 0 || kind > kMaxEventKind ||
+      nlocks > kMaxLocksPerEvent) {
+    *error = "trace_io: malformed event line";
+    return false;
+  }
+  e.kind = static_cast<EventKind>(kind);
+  e.locks_held.resize(nlocks);
+  for (std::size_t i = 0; i < nlocks; ++i) is >> e.locks_held[i];
+  if (is.fail()) {
+    *error = "trace_io: truncated lockset";
+    return false;
+  }
+  std::string marker;
+  if (is >> marker) {
+    if (marker != "M") {
+      *error = "trace_io: bad marker";
+      return false;
+    }
+    MpiCallInfo info;
+    int type = 0, main_thread = 0, provided = 0;
+    is >> type >> info.peer >> info.tag >> info.comm >> info.request >>
+        main_thread >> provided >> info.callsite;
+    if (is.fail()) {
+      *error = "trace_io: truncated MPI record";
+      return false;
+    }
+    info.type = static_cast<MpiCallType>(type);
+    info.on_main_thread = main_thread != 0;
+    info.provided = static_cast<std::uint8_t>(provided);
+    e.mpi = info;
+  }
+  result->events.push_back(std::move(e));
+  return true;
+}
+
+}  // namespace
+
 LoadedTrace read_trace(std::istream& in) {
   LoadedTrace result;
   std::string line;
@@ -75,42 +154,46 @@ LoadedTrace read_trace(std::istream& in) {
   }
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream is(line);
-    std::string tag;
-    is >> tag;
-    if (tag == "S") {
-      std::uint32_t id = 0;
-      std::string text;
-      is >> id >> text;
-      if (result.strings.size() <= id) result.strings.resize(id + 1);
-      result.strings[id] = unescape(text);
-      continue;
+    std::string error;
+    if (!parse_trace_line(line, &result, &error)) {
+      throw std::runtime_error(error);
     }
-    if (tag != "E") throw std::runtime_error("trace_io: bad record '" + tag + "'");
-    Event e;
-    int kind = 0;
-    std::size_t nlocks = 0;
-    is >> e.seq >> e.tid >> e.rank >> kind >> e.obj >> e.aux >> nlocks;
-    e.kind = static_cast<EventKind>(kind);
-    e.locks_held.resize(nlocks);
-    for (std::size_t i = 0; i < nlocks; ++i) is >> e.locks_held[i];
-    std::string marker;
-    if (is >> marker) {
-      if (marker != "M") throw std::runtime_error("trace_io: bad marker");
-      MpiCallInfo info;
-      int type = 0, main_thread = 0, provided = 0;
-      is >> type >> info.peer >> info.tag >> info.comm >> info.request >>
-          main_thread >> provided >> info.callsite;
-      info.type = static_cast<MpiCallType>(type);
-      info.on_main_thread = main_thread != 0;
-      info.provided = static_cast<std::uint8_t>(provided);
-      e.mpi = info;
-    }
-    if (is.fail() && !is.eof()) {
-      throw std::runtime_error("trace_io: malformed event line");
-    }
-    result.events.push_back(std::move(e));
   }
+  return result;
+}
+
+LoadedTrace read_trace_lenient(std::istream& in, ReadStats* stats) {
+  LoadedTrace result;
+  ReadStats local;
+  obs::Counter& corrupt_counter =
+      obs::Registry::global().counter("trace.corrupt_records");
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+  if (line != kHeader) {
+    // Missing header counts as damage, but the line itself may still be a
+    // parseable record (a file whose head was torn off) — keep it if so.
+    ++local.corrupt_records;
+    corrupt_counter.add();
+    std::string error;
+    if (!line.empty() && line[0] != '#' &&
+        parse_trace_line(line, &result, &error)) {
+      ++local.records;
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string error;
+    if (parse_trace_line(line, &result, &error)) {
+      ++local.records;
+    } else {
+      ++local.corrupt_records;
+      corrupt_counter.add();
+    }
+  }
+  if (stats != nullptr) *stats = local;
   return result;
 }
 

@@ -59,6 +59,24 @@ class EventSink {
   virtual void on_event(const Event& e) = 0;
 };
 
+/// Fan-out sink: forwards every event to each registered sink, in add()
+/// order.  TraceLog holds a single sink slot; the tee is how a durability
+/// writer (WAL) runs alongside the streaming analyzer.  Add all sinks before
+/// installing the tee — add() is not synchronized with delivery.
+class TeeSink : public EventSink {
+ public:
+  void add(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void on_event(const Event& e) override {
+    for (EventSink* s : sinks_) s->on_event(e);
+  }
+  std::size_t size() const { return sinks_.size(); }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
 class TraceLog {
  public:
   TraceLog();

@@ -1,0 +1,364 @@
+// Sweep-robustness tests (ISSUE-10): cooperative abort, the checkpointed
+// sweep journal, watchdog timeout + quarantine + bounded retry, crash
+// quarantine, kill-and-resume reproducing the uninterrupted sweep's
+// aggregates byte-identically, and exact shed accounting in the online
+// event queue.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/hidden_race.hpp"
+#include "src/explore/journal.hpp"
+#include "src/explore/sweeper.hpp"
+#include "src/online/event_queue.hpp"
+#include "src/simmpi/abort.hpp"
+#include "src/trace/event.hpp"
+
+namespace home::explore {
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).is_open();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ------------------------------------------------------ cooperative abort
+
+TEST(Abort, RequestAbortWakesABlockedWaitPromptly) {
+  simmpi::clear_abort();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+  std::chrono::steady_clock::duration waited{};
+
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      // Predicate never holds and the timeout is far away: only the abort
+      // flag can end this wait.
+      simmpi::abortable_wait(cv, lock, 60000, [] { return false; });
+    } catch (const simmpi::AbortError& e) {
+      aborted = true;
+      EXPECT_NE(std::string(e.what()).find("watchdog test"),
+                std::string::npos);
+    }
+    waited = std::chrono::steady_clock::now() - t0;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  simmpi::request_abort("watchdog test");
+  waiter.join();
+  EXPECT_TRUE(aborted);
+  // The wait must collapse within a few poll intervals, not the timeout.
+  EXPECT_LT(waited, std::chrono::seconds(5));
+
+  simmpi::clear_abort();
+  EXPECT_FALSE(simmpi::abort_requested());
+}
+
+TEST(Abort, WaitSemanticsMatchCvWaitWhenNoAbortIsRequested) {
+  simmpi::clear_abort();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  // Timeout path: predicate never holds.
+  EXPECT_FALSE(simmpi::abortable_wait(cv, lock, 30, [] { return false; }));
+  // Immediate path: predicate already holds.
+  EXPECT_TRUE(simmpi::abortable_wait(cv, lock, 30, [] { return true; }));
+}
+
+// --------------------------------------------------------- sweep journal
+
+JournalMeta test_meta() {
+  JournalMeta meta;
+  meta.schedules = 4;
+  meta.base_seed = 9;
+  meta.strategy = "wildcard";
+  return meta;
+}
+
+TEST(Journal, RecordsRoundTripAndTornTrailingBlocksAreDiscarded) {
+  const std::string path = testing::TempDir() + "/home_journal_rt.txt";
+  { std::ofstream(path, std::ios::trunc); }
+
+  {
+    SweepJournal journal(path, test_meta());
+    ASSERT_TRUE(journal.ok());
+    JournalEntry baseline;
+    baseline.index = -1;
+    baseline.seed = 0;
+    baseline.hook_hits = 11;
+    baseline.keys = {"1|0|a|a|c0"};
+    journal.record(baseline);
+
+    JournalEntry sched;
+    sched.index = 2;
+    sched.seed = 11;
+    sched.signature = 0xfeedface;
+    sched.hook_hits = 42;
+    sched.status = "timeout";
+    sched.retries = 3;
+    sched.errors = {"rank 0: watchdog"};
+    sched.schedule_path = "/tmp/seed11.schedule";
+    sched.faultplan_path = "/tmp/seed11.faultplan";
+    sched.certificates = 2;
+    sched.certificates_verified = 1;
+    journal.record(sched);
+  }
+  // A block torn by a kill: `run` without its closing `end`.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "run 3 12 77 99 ok 0\nkey 3 2|0|b|b|c1\n";
+  }
+
+  std::map<int, JournalEntry> entries;
+  std::size_t torn = 0;
+  ASSERT_TRUE(SweepJournal::load(path, test_meta(), &entries, &torn));
+  EXPECT_EQ(torn, 1u);
+  ASSERT_EQ(entries.size(), 2u);
+  ASSERT_TRUE(entries.count(-1));
+  EXPECT_EQ(entries[-1].hook_hits, 11u);
+  EXPECT_EQ(entries[-1].keys, std::set<std::string>{"1|0|a|a|c0"});
+  ASSERT_TRUE(entries.count(2));
+  const JournalEntry& got = entries[2];
+  EXPECT_EQ(got.seed, 11u);
+  EXPECT_EQ(got.signature, 0xfeedfaceu);
+  EXPECT_EQ(got.status, "timeout");
+  EXPECT_EQ(got.retries, 3);
+  ASSERT_EQ(got.errors.size(), 1u);
+  EXPECT_EQ(got.errors[0], "rank 0: watchdog");
+  EXPECT_EQ(got.schedule_path, "/tmp/seed11.schedule");
+  EXPECT_EQ(got.faultplan_path, "/tmp/seed11.faultplan");
+  EXPECT_EQ(got.certificates, 2u);
+  EXPECT_EQ(got.certificates_verified, 1u);
+  // The torn index-3 block must NOT surface.
+  EXPECT_FALSE(entries.count(3));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, LoadRejectsAMetaMismatchAndMissingFiles) {
+  const std::string path = testing::TempDir() + "/home_journal_meta.txt";
+  { std::ofstream(path, std::ios::trunc); }
+  {
+    SweepJournal journal(path, test_meta());
+    ASSERT_TRUE(journal.ok());
+  }
+  std::map<int, JournalEntry> entries;
+  JournalMeta other = test_meta();
+  other.base_seed = 1234;  // a *different* sweep's journal must not resume.
+  EXPECT_FALSE(SweepJournal::load(path, other, &entries));
+  EXPECT_TRUE(SweepJournal::load(path, test_meta(), &entries));
+  EXPECT_FALSE(SweepJournal::load(path + ".does-not-exist", test_meta(),
+                                  &entries));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------- watchdog, retries, quarantine
+
+/// Rank 0 posts a receive no rank ever satisfies: a deterministic hang with
+/// no fault injection involved.
+Sweeper::RankMain hanging_main() {
+  return [](simmpi::Process& p) {
+    p.init_thread(simmpi::ThreadLevel::kMultiple);
+    if (p.rank() == 0) {
+      int x = 0;
+      p.recv(&x, 1, simmpi::Datatype::kInt, 1, 99, simmpi::kCommWorld,
+             nullptr, {"hang.recv"});
+    }
+    p.finalize();
+  };
+}
+
+TEST(SweepResilience, WatchdogQuarantinesAHangingScheduleAfterRetries) {
+  SweepConfig cfg;
+  cfg.nranks = 2;
+  cfg.nthreads = 1;
+  cfg.schedules = 1;
+  cfg.run_baseline = false;  // the baseline would hang identically.
+  cfg.strategy = StrategyKind::kRandomWalk;
+  cfg.schedule_timeout_ms = 300;
+  cfg.block_timeout_ms = 60000;  // only the watchdog may end the run.
+  cfg.max_retries = 2;
+  cfg.retry_backoff_ms = 1;
+  cfg.quarantine_dir = testing::TempDir();
+
+  const SweepResult result = Sweeper(cfg).run(hanging_main());
+  EXPECT_EQ(result.schedules_run, 1);
+  EXPECT_EQ(result.timeouts, 1);
+  EXPECT_EQ(result.crashes, 0);
+  EXPECT_EQ(result.retries, 2);  // two re-runs beyond the first attempt.
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  const QuarantinedSchedule& q = result.quarantined[0];
+  EXPECT_EQ(q.status, "timeout");
+  EXPECT_EQ(q.retries, 2);
+  EXPECT_FALSE(q.reason.empty());
+  ASSERT_FALSE(q.schedule_path.empty());
+  EXPECT_TRUE(file_exists(q.schedule_path));
+  // The human-readable reason rides along with the artifacts.
+  const std::string reason_path =
+      cfg.quarantine_dir + "/seed" + std::to_string(q.seed) + ".reason.txt";
+  EXPECT_TRUE(file_exists(reason_path));
+  const std::string reason = slurp(reason_path);
+  EXPECT_NE(reason.find("timeout"), std::string::npos);
+  std::remove(q.schedule_path.c_str());
+  std::remove(reason_path.c_str());
+}
+
+TEST(SweepResilience, ACrashingScheduleIsQuarantinedAsACrash) {
+  SweepConfig cfg;
+  cfg.nranks = 0;  // Universe rejects nranks=0: a deterministic "crash".
+  cfg.schedules = 1;
+  cfg.run_baseline = false;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_ms = 1;
+
+  const SweepResult result = Sweeper(cfg).run([](simmpi::Process&) {});
+  EXPECT_EQ(result.crashes, 1);
+  EXPECT_EQ(result.timeouts, 0);
+  EXPECT_EQ(result.retries, 1);
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].status, "crash");
+  EXPECT_FALSE(result.quarantined[0].reason.empty());
+}
+
+// ------------------------------------------------------- kill and resume
+
+Sweeper::RankMain hidden_main() {
+  return [](simmpi::Process& p) { apps::run_hidden_race_rank(p); };
+}
+
+SweepConfig hidden_config(const std::string& journal_path) {
+  SweepConfig cfg;
+  cfg.nranks = apps::kHiddenRaceRanks;
+  cfg.nthreads = 2;
+  cfg.schedules = 6;
+  cfg.base_seed = 1;
+  cfg.strategy = StrategyKind::kWildcardReorder;
+  cfg.schedule_dir = testing::TempDir();
+  cfg.journal_path = journal_path;
+  return cfg;
+}
+
+std::set<std::string> finding_keys(const SweepResult& r) {
+  std::set<std::string> keys;
+  for (const SweepFinding& f : r.findings) keys.insert(f.key);
+  return keys;
+}
+
+TEST(SweepResilience, ResumeReproducesTheUninterruptedSweepByteIdentically) {
+  const std::string ja = testing::TempDir() + "/home_resume_a.journal";
+  const std::string jb = testing::TempDir() + "/home_resume_b.journal";
+  { std::ofstream(ja, std::ios::trunc); }
+
+  const SweepResult full = Sweeper(hidden_config(ja)).run(hidden_main());
+  ASSERT_GT(full.findings.size(), 0u);
+  EXPECT_EQ(full.resumed, 0);
+
+  // Simulate a kill *after* the sweep's last checkpoint: copy the journal
+  // and tear its tail (a block the kill interrupted mid-write).
+  {
+    std::ofstream out(jb, std::ios::trunc | std::ios::binary);
+    out << slurp(ja);
+    out << "run 99 100 1 2 ok 0\nkey 99 torn|record\n";
+  }
+  const SweepResult resumed = Sweeper(hidden_config(jb)).run(hidden_main());
+
+  // Every schedule (and the baseline) replays from the journal...
+  EXPECT_EQ(resumed.resumed, 7);  // 6 schedules + the baseline.
+  EXPECT_EQ(resumed.journal_torn_blocks, 1u);
+  // ...and the aggregates are byte-identical to the uninterrupted sweep's.
+  EXPECT_EQ(finding_keys(resumed), finding_keys(full));
+  EXPECT_EQ(resumed.baseline_keys, full.baseline_keys);
+  EXPECT_EQ(resumed.coverage_curve, full.coverage_curve);
+  EXPECT_EQ(resumed.hook_hits, full.hook_hits);
+  EXPECT_EQ(resumed.schedules_run, full.schedules_run);
+  ASSERT_EQ(resumed.findings.size(), full.findings.size());
+  for (std::size_t i = 0; i < full.findings.size(); ++i) {
+    EXPECT_EQ(resumed.findings[i].key, full.findings[i].key);
+    EXPECT_EQ(resumed.findings[i].seed, full.findings[i].seed);
+    EXPECT_EQ(resumed.findings[i].schedule_index,
+              full.findings[i].schedule_index);
+  }
+  std::remove(ja.c_str());
+  std::remove(jb.c_str());
+}
+
+TEST(SweepResilience, AMidSweepKillResumesAndCompletesTheRemainder) {
+  const std::string ja = testing::TempDir() + "/home_reskill_a.journal";
+  const std::string jc = testing::TempDir() + "/home_reskill_c.journal";
+  { std::ofstream(ja, std::ios::trunc); }
+
+  const SweepResult full = Sweeper(hidden_config(ja)).run(hidden_main());
+  ASSERT_GT(full.findings.size(), 0u);
+
+  // Simulate SIGKILL mid-sweep: keep only the first three `end`-closed
+  // blocks (baseline + two schedules), exactly what flush-per-record
+  // guarantees survives.
+  {
+    std::istringstream in(slurp(ja));
+    std::ofstream out(jc, std::ios::trunc | std::ios::binary);
+    std::string line;
+    int ends = 0;
+    while (ends < 3 && std::getline(in, line)) {
+      out << line << '\n';
+      if (line.rfind("end ", 0) == 0) ++ends;
+    }
+    ASSERT_EQ(ends, 3);
+  }
+  const SweepResult resumed = Sweeper(hidden_config(jc)).run(hidden_main());
+
+  EXPECT_EQ(resumed.resumed, 3);
+  EXPECT_EQ(resumed.schedules_run, full.schedules_run);
+  // The resumed half re-runs live; per-seed schedule determinism makes the
+  // union land exactly where the uninterrupted sweep did.
+  EXPECT_EQ(finding_keys(resumed), finding_keys(full));
+  EXPECT_EQ(resumed.coverage_curve, full.coverage_curve);
+  std::remove(ja.c_str());
+  std::remove(jc.c_str());
+}
+
+// ------------------------------------------------- online shed accounting
+
+TEST(EventQueue, ShedAndShutdownDropsAreAccountedByCause) {
+  online::EventQueue q(2, online::BackpressurePolicy::kDropNewest);
+  EXPECT_EQ(q.push_accounted(trace::Event{}), online::PushOutcome::kAccepted);
+  EXPECT_EQ(q.push_accounted(trace::Event{}), online::PushOutcome::kAccepted);
+  // Full queue under kDropNewest: the incoming event is shed, by capacity.
+  EXPECT_EQ(q.push_accounted(trace::Event{}),
+            online::PushOutcome::kShedCapacity);
+  EXPECT_EQ(q.dropped_capacity(), 1u);
+  EXPECT_EQ(q.dropped_shutdown(), 0u);
+
+  q.close();
+  EXPECT_EQ(q.push_accounted(trace::Event{}),
+            online::PushOutcome::kDroppedShutdown);
+  EXPECT_EQ(q.dropped_capacity(), 1u);
+  EXPECT_EQ(q.dropped_shutdown(), 1u);
+  EXPECT_EQ(q.dropped(), 2u);
+
+  // Pending events stay poppable after close; then the queue drains out.
+  trace::Event e;
+  EXPECT_TRUE(q.pop(&e));
+  EXPECT_TRUE(q.pop(&e));
+  EXPECT_FALSE(q.pop(&e));
+}
+
+}  // namespace
+}  // namespace home::explore
